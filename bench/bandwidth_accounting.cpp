@@ -1,0 +1,89 @@
+// E11 -- Section 6's bandwidth argument, quantified.
+//
+// The paper uses the IS protocol *only* to build a spanning tree "since the
+// IS protocol sends large messages, while the goal of algebraic gossip is to
+// address bandwidth concerns".  This bench puts numbers on that sentence:
+// disseminating k payload-carrying messages by running IS to completion
+// (every IS message must carry the n-bit progress string plus, in the worst
+// case, all collected payloads) is compared with TAG+IS (IS messages carry
+// only n bits; payloads travel in fixed-size (k + r) log q coded packets)
+// and with plain uniform algebraic gossip.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/stp_policies.hpp"
+#include "core/stp_protocol.hpp"
+#include "core/tag.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace ag;
+  agbench::print_header(
+      "E11 | Section 6: why TAG uses IS only for the tree (bandwidth accounting)",
+      "IS-as-disseminator ships O(n + k*r) bits per message; TAG+IS ships n-bit "
+      "tree messages + (k+r) log q coded packets; totals differ by orders of magnitude");
+
+  const std::size_t payload_bytes = 256;  // r = 256 GF(256) symbols per message
+  agbench::Table table({"n", "k", "IS-as-dissemination", "TAG+IS", "uniform AG",
+                        "IS/TAG ratio"});
+  bool tag_wins = true;
+  for (const std::size_t n : {32u, 64u, 128u}) {
+    const auto g = graph::make_barbell(n);
+    const double logn = std::log2(static_cast<double>(n));
+    const auto k = static_cast<std::size_t>(logn * logn);
+
+    double bits_is = 0, bits_tag = 0, bits_ag = 0;
+    const auto runs = agbench::seeds();
+    for (std::size_t r = 0; r < runs; ++r) {
+      // (a) IS run to full information spreading; each message carries the
+      // n-bit string plus (worst case) all k payloads it has collected.
+      sim::Rng rng1 = sim::Rng::for_run(1501 + n, r);
+      core::IsStpConfig icfg;
+      core::StpProtocol<core::IsStpPolicy> is_proto(sim::TimeModel::Synchronous, g,
+                                                    icfg, rng1);
+      sim::run(is_proto, rng1, 10000000);
+      const double is_msg_bits =
+          static_cast<double>(n) +
+          static_cast<double>(k) * static_cast<double>(payload_bytes) * 8.0;
+      bits_is += static_cast<double>(is_proto.messages_sent()) * is_msg_bits;
+
+      // (b) TAG + IS: tree messages are n bits; payloads ride coded packets.
+      sim::Rng rng2 = sim::Rng::for_run(1502 + n, r);
+      const auto placement = core::uniform_distinct(k, n, rng2);
+      core::AgConfig acfg;
+      acfg.payload_len = payload_bytes;
+      core::Tag<core::Gf256Decoder, core::IsStpPolicy> tag(g, placement, acfg, icfg,
+                                                           rng2);
+      sim::run(tag, rng2, 10000000);
+      bits_tag += tag.wire_bits();
+
+      // (c) plain uniform AG for reference.
+      sim::Rng rng3 = sim::Rng::for_run(1503 + n, r);
+      const auto placement3 = core::uniform_distinct(k, n, rng3);
+      core::UniformAG<core::Gf256Decoder> ag(g, placement3, acfg);
+      sim::run(ag, rng3, 10000000);
+      bits_ag += ag.wire_bits();
+    }
+    bits_is /= static_cast<double>(runs);
+    bits_tag /= static_cast<double>(runs);
+    bits_ag /= static_cast<double>(runs);
+    tag_wins = tag_wins && bits_tag < bits_is;
+    auto mb = [](double bits) { return agbench::fmt(bits / 8e6, 2) + " MB"; };
+    table.add_row({agbench::fmt_int(n), agbench::fmt_int(k), mb(bits_is), mb(bits_tag),
+                   mb(bits_ag), agbench::fmt(bits_is / bits_tag, 1) + "x"});
+  }
+  table.print();
+  std::printf("\n(IS message = n-bit string + collected payloads; coded packet = "
+              "(k + %zu) bytes)\n", payload_bytes);
+  agbench::verdict(tag_wins,
+                   "delegating payload transport to fixed-size coded packets saves "
+                   "an order of magnitude of traffic vs IS-as-disseminator -- the "
+                   "design rationale of Section 6, quantified");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E5 -- the barbell graph: the paper's running worst case (Sections 1.1, 6).
+//
+// Claims reproduced:
+//   - uniform algebraic gossip needs Omega(n^2) rounds for all-to-all
+//     (bottleneck edge is picked with probability ~2/n per round per side);
+//   - TAG + B_RR finishes in Theta(n): speedup ratio ~ n;
+//   - TAG + IS also escapes the bottleneck;
+//   - the uncoded baseline pays the coupon-collector tax on top.
+//
+// Output: one row per n with all four protocols, plus log-log slopes.
+#include <cmath>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/stp_policies.hpp"
+#include "core/tag.hpp"
+#include "core/uncoded_gossip.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "stats/regression.hpp"
+
+int main() {
+  using namespace ag;
+  agbench::print_header(
+      "E5 | the barbell showdown (Sections 1.1 and 6)",
+      "uniform AG = Omega(n^2) on the barbell; TAG = Theta(n): speedup ratio ~ n");
+
+  const double sc = agbench::scale();
+  agbench::Table table({"n", "uniform AG", "TAG+B_RR", "TAG+IS", "uncoded", "AG/TAG speedup"});
+  std::vector<double> ns, t_ag, t_tag;
+  for (std::size_t n = 16; n <= static_cast<std::size_t>(96 * sc); n = n * 3 / 2) {
+    const auto g = graph::make_barbell(n);
+    const auto ag_rounds = core::stopping_rounds(
+        [&](sim::Rng&) {
+          core::AgConfig cfg;
+          return core::UniformAG<core::Gf2Decoder>(g, core::all_to_all(n), cfg);
+        },
+        agbench::seeds(), 1001 + n, 10000000);
+    const auto tag_rounds = core::stopping_rounds(
+        [&](sim::Rng& rng) {
+          core::AgConfig cfg;
+          core::BroadcastStpConfig stp;
+          return core::Tag<core::Gf2Decoder, core::BroadcastStpPolicy>(
+              g, core::all_to_all(n), cfg, stp, rng);
+        },
+        agbench::seeds(), 1002 + n, 10000000);
+    const auto tagis_rounds = core::stopping_rounds(
+        [&](sim::Rng& rng) {
+          core::AgConfig cfg;
+          core::IsStpConfig stp;
+          return core::Tag<core::Gf2Decoder, core::IsStpPolicy>(g, core::all_to_all(n),
+                                                                cfg, stp, rng);
+        },
+        agbench::seeds(), 1003 + n, 10000000);
+    const auto uncoded_rounds = core::stopping_rounds(
+        [&](sim::Rng&) {
+          core::UncodedConfig cfg;
+          return core::UncodedGossip(g, core::all_to_all(n), cfg);
+        },
+        agbench::seeds(), 1004 + n, 10000000);
+
+    ns.push_back(static_cast<double>(n));
+    t_ag.push_back(agbench::mean(ag_rounds));
+    t_tag.push_back(agbench::mean(tag_rounds));
+    table.add_row({agbench::fmt_int(n), agbench::fmt(agbench::mean(ag_rounds)),
+                   agbench::fmt(agbench::mean(tag_rounds)),
+                   agbench::fmt(agbench::mean(tagis_rounds)),
+                   agbench::fmt(agbench::mean(uncoded_rounds)),
+                   agbench::fmt(agbench::mean(ag_rounds) / agbench::mean(tag_rounds), 2)});
+  }
+  table.print();
+
+  const auto fit_ag = stats::loglog_fit(ns, t_ag);
+  const auto fit_tag = stats::loglog_fit(ns, t_tag);
+  std::printf("\nlog-log slopes: uniform AG %.2f (expect ~2)   TAG+B_RR %.2f (expect ~1)\n",
+              fit_ag.slope, fit_tag.slope);
+  std::printf("speedup grows with n: the paper's 'speedup ratio of n' on the barbell\n");
+  agbench::verdict(fit_ag.slope > 1.6 && fit_tag.slope < 1.4,
+                   "uniform AG scales ~n^2 and TAG ~n on the barbell; who-wins and "
+                   "the growth of the speedup match the paper");
+  return 0;
+}

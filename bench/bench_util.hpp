@@ -1,0 +1,43 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench binary prints: a header naming the paper artifact it
+// regenerates, the claim under test, a fixed-width table of results, and a
+// VERDICT line summarising whether the measured shape matches the paper.
+// Sweep sizes scale with AG_BENCH_SCALE (default 1; >1 for deeper sweeps)
+// and seed counts with AG_BENCH_SEEDS (default 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace agbench {
+
+// Environment-controlled knobs.
+double scale();        // AG_BENCH_SCALE, default 1.0
+std::size_t seeds();   // AG_BENCH_SEEDS, default 8
+
+void print_header(const std::string& artifact, const std::string& claim);
+
+// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double v, int precision = 1);
+std::string fmt_int(std::uint64_t v);
+
+// Prints "VERDICT: PASS - <note>" or "VERDICT: CHECK - <note>".
+void verdict(bool pass, const std::string& note);
+
+double mean(const std::vector<double>& xs);
+double maximum(const std::vector<double>& xs);
+
+}  // namespace agbench

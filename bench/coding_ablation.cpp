@@ -1,0 +1,81 @@
+// E15 -- coding-rule ablation: what exactly about RLNC makes algebraic
+// gossip work?
+//
+//   recoding     : nodes transmit combinations of *everything stored*
+//                  (the paper's rule) vs forwarding stored equations
+//                  verbatim (no recoding).
+//   density      : dense combinations vs sparse ones (each stored row joins
+//                  with probability d).
+//
+// Expectation: no-recoding collapses on multi-hop topologies (a relay can
+// only repeat what it has seen, so innovative dimensions drain); moderate
+// sparsity is nearly free (helpfulness stays Theta(1)) while extreme
+// sparsity approaches uncoded behaviour.
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+using namespace ag;
+
+double mean_rounds(const graph::Graph& g, std::size_t k, bool recode, double density,
+                   std::uint64_t seed) {
+  const auto rounds = core::stopping_rounds(
+      [&](sim::Rng& rng) {
+        const auto placement = core::uniform_distinct(k, g.node_count(), rng);
+        core::AgConfig cfg;
+        cfg.recode = recode;
+        cfg.coding_density = density;
+        return core::UniformAG<core::Gf256Decoder>(g, placement, cfg);
+      },
+      agbench::seeds(), seed, 10000000);
+  return agbench::mean(rounds);
+}
+}  // namespace
+
+int main() {
+  agbench::print_header(
+      "E15 | coding-rule ablation: recoding and density",
+      "recoding is what makes AG work on multi-hop graphs; moderate sparsity is "
+      "nearly free, extreme sparsity approaches uncoded");
+
+  struct Fam {
+    std::string name;
+    graph::Graph g;
+  };
+  std::vector<Fam> fams;
+  fams.push_back({"grid 6x6", graph::make_grid(6, 6)});
+  fams.push_back({"complete-36", graph::make_complete(36)});
+  fams.push_back({"barbell-36", graph::make_barbell(36)});
+
+  agbench::Table table({"graph", "k", "paper rule", "no recoding", "density 0.5",
+                        "density 0.1", "density 2/k"});
+  bool recode_matters = true, sparsity_cheap = true;
+  for (const auto& f : fams) {
+    const std::size_t k = 18;
+    const double paper = mean_rounds(f.g, k, true, 1.0, 1801);
+    const double noreco = mean_rounds(f.g, k, false, 1.0, 1802);
+    const double d50 = mean_rounds(f.g, k, true, 0.5, 1803);
+    const double d10 = mean_rounds(f.g, k, true, 0.1, 1804);
+    const double dmin = mean_rounds(f.g, k, true, 2.0 / static_cast<double>(k), 1805);
+    // Multi-hop graphs punish no-recoding.
+    if (f.name != "complete-36") recode_matters = recode_matters && noreco > 1.3 * paper;
+    sparsity_cheap = sparsity_cheap && d50 < 1.5 * paper;
+    table.add_row({f.name, agbench::fmt_int(k), agbench::fmt(paper),
+                   agbench::fmt(noreco), agbench::fmt(d50), agbench::fmt(d10),
+                   agbench::fmt(dmin)});
+  }
+  table.print();
+  agbench::verdict(recode_matters && sparsity_cheap,
+                   "removing recoding inflates multi-hop stopping times; half-density "
+                   "coding costs <50% extra -- the coding rule's essential part is "
+                   "recombination, not density");
+  return 0;
+}

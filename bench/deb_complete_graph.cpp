@@ -1,0 +1,61 @@
+// E13 -- the Deb-Medard-Choute regime (Section 1.2 related work, the origin
+// of algebraic gossip): on the complete graph, uniform algebraic gossip with
+// PUSH or PULL spreads k = Theta(n) messages in Theta(k) rounds.
+//
+// We sweep k on complete graphs and verify linear scaling with a small
+// constant for all three directions, and that EXCHANGE is never slower than
+// PUSH or PULL alone (it sends both).
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "stats/regression.hpp"
+
+int main() {
+  using namespace ag;
+  agbench::print_header(
+      "E13 | Deb et al. regime (Section 1.2): complete graph, k = Theta(n)",
+      "uniform algebraic gossip finishes in Theta(k) rounds under PUSH, PULL and "
+      "EXCHANGE on the complete graph");
+
+  const double sc = agbench::scale();
+  agbench::Table table({"n", "k", "PUSH", "PULL", "EXCHANGE", "EXCHANGE/k"});
+  std::vector<double> ks, tex;
+  bool exchange_best = true;
+  for (std::size_t n = 16; n <= static_cast<std::size_t>(128 * sc); n *= 2) {
+    const std::size_t k = n;
+    double by_dir[3] = {0, 0, 0};
+    int d = 0;
+    for (const auto dir :
+         {sim::Direction::Push, sim::Direction::Pull, sim::Direction::Exchange}) {
+      const auto g = graph::make_complete(n);
+      const auto rounds = core::stopping_rounds(
+          [&](sim::Rng&) {
+            core::AgConfig cfg;
+            cfg.direction = dir;
+            return core::UniformAG<core::Gf2Decoder>(g, core::all_to_all(n), cfg);
+          },
+          agbench::seeds(), 1601 + n + static_cast<std::uint64_t>(dir), 10000000);
+      by_dir[d++] = agbench::mean(rounds);
+    }
+    ks.push_back(static_cast<double>(k));
+    tex.push_back(by_dir[2]);
+    exchange_best = exchange_best && by_dir[2] <= by_dir[0] + 1 && by_dir[2] <= by_dir[1] + 1;
+    table.add_row({agbench::fmt_int(n), agbench::fmt_int(k), agbench::fmt(by_dir[0]),
+                   agbench::fmt(by_dir[1]), agbench::fmt(by_dir[2]),
+                   agbench::fmt(by_dir[2] / static_cast<double>(k), 2)});
+  }
+  table.print();
+  const auto fit = stats::loglog_fit(ks, tex);
+  std::printf("\nlog-log slope of t(EXCHANGE) vs k: %.2f (expect ~1)\n", fit.slope);
+  agbench::verdict(fit.slope > 0.7 && fit.slope < 1.25 && exchange_best,
+                   "Theta(k) on the complete graph in all directions; EXCHANGE "
+                   "dominates its one-directional halves");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E6 -- Lemma 1: algebraic gossip with the partner fixed to the tree parent
+// completes in O(k + log n + lmax) rounds on any tree, both time models.
+//
+// We sweep tree shapes with very different depths (star: lmax = 1; path:
+// lmax = n - 1; binary tree: lmax = log n; random BFS tree) and k, and check
+// the ratio t / (k + log n + lmax) is bounded by one constant.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/fixed_tree_ag.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace ag;
+  agbench::print_header(
+      "E6 | Lemma 1: fixed-parent algebraic gossip on trees",
+      "t = O(k + log n + lmax) rounds, synchronous and asynchronous, w.h.p.");
+
+  const double sc = agbench::scale();
+  const auto n = static_cast<std::size_t>(63 * sc);
+
+  struct Shape {
+    std::string name;
+    graph::SpanningTree tree;
+  };
+  std::vector<Shape> shapes;
+  shapes.push_back({"star", graph::bfs_tree(graph::make_star(n), 0)});
+  shapes.push_back({"path", graph::bfs_tree(graph::make_path(n), 0)});
+  shapes.push_back({"binary tree", graph::bfs_tree(graph::make_binary_tree(n), 0)});
+  shapes.push_back(
+      {"BFS of ER", graph::bfs_tree(graph::make_erdos_renyi(n, 0.12, 23), 0)});
+
+  agbench::Table table({"tree", "n", "lmax", "k", "model", "mean(rounds)",
+                        "k+log n+lmax", "ratio"});
+  double worst = 0;
+  for (const auto& s : shapes) {
+    const auto lmax = s.tree.depth();
+    for (const std::size_t k : {std::size_t{4}, n / 4, n}) {
+      for (const auto tm : {sim::TimeModel::Synchronous, sim::TimeModel::Asynchronous}) {
+        const auto rounds = core::stopping_rounds(
+            [&](sim::Rng& rng) {
+              const auto placement = core::uniform_distinct(k, n, rng);
+              core::AgConfig cfg;
+              cfg.time_model = tm;
+              return core::FixedTreeAG<core::Gf2Decoder>(s.tree, placement, cfg);
+            },
+            agbench::seeds(), 1100 + k, 10000000);
+        const double bound =
+            static_cast<double>(k) + std::log2(static_cast<double>(n)) + lmax;
+        const double ratio = agbench::mean(rounds) / bound;
+        worst = std::max(worst, ratio);
+        table.add_row({s.name, agbench::fmt_int(n), agbench::fmt_int(lmax),
+                       agbench::fmt_int(k), std::string(to_string(tm)),
+                       agbench::fmt(agbench::mean(rounds)), agbench::fmt(bound, 0),
+                       agbench::fmt(ratio, 2)});
+      }
+    }
+  }
+  table.print();
+  std::printf("\nworst ratio t / (k + log n + lmax): %.2f\n", worst);
+  agbench::verdict(worst < 8.0,
+                   "fixed-parent AG tracks k + log n + lmax with one constant over "
+                   "all tree shapes, k, and both time models");
+  return 0;
+}

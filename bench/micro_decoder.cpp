@@ -1,0 +1,84 @@
+// E8 -- micro benchmarks for the incremental decoders (google-benchmark):
+// insert cost (the per-received-packet work of every gossip node) and
+// random_combination cost (the per-transmission work), dense GF(256) vs
+// bit-packed GF(2).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/bit_decoder.hpp"
+#include "linalg/dense_decoder.hpp"
+#include "gf/gf2m.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using ag::gf::GF256;
+using ag::linalg::BitDecoder;
+using ag::linalg::DenseDecoder;
+
+void BM_DenseInsertToFullRank(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  ag::sim::Rng rng(11);
+  // Pre-generate random packets from a full-rank source.
+  DenseDecoder<GF256> src(k, 0);
+  for (std::size_t i = 0; i < k; ++i) src.insert(src.unit_packet(i));
+  std::vector<DenseDecoder<GF256>::packet_type> packets;
+  for (std::size_t i = 0; i < 4 * k; ++i) packets.push_back(*src.random_combination(rng));
+
+  for (auto _ : state) {
+    DenseDecoder<GF256> d(k, 0);
+    std::size_t i = 0;
+    while (!d.full_rank() && i < packets.size()) d.insert(packets[i++]);
+    benchmark::DoNotOptimize(d.rank());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_DenseInsertToFullRank)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_BitInsertToFullRank(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  ag::sim::Rng rng(12);
+  BitDecoder src(k, 0);
+  for (std::size_t i = 0; i < k; ++i) src.insert(src.unit_packet(i));
+  std::vector<BitDecoder::packet_type> packets;
+  for (std::size_t i = 0; i < 4 * k; ++i) packets.push_back(*src.random_combination(rng));
+
+  for (auto _ : state) {
+    BitDecoder d(k, 0);
+    std::size_t i = 0;
+    while (!d.full_rank() && i < packets.size()) d.insert(packets[i++]);
+    benchmark::DoNotOptimize(d.rank());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_BitInsertToFullRank)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DenseRandomCombination(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  ag::sim::Rng rng(13);
+  DenseDecoder<GF256> d(k, 16);
+  for (std::size_t i = 0; i < k; ++i) d.insert(d.unit_packet(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.random_combination(rng));
+  }
+}
+BENCHMARK(BM_DenseRandomCombination)->Arg(32)->Arg(128);
+
+void BM_BitRandomCombination(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  ag::sim::Rng rng(14);
+  BitDecoder d(k, 2);
+  for (std::size_t i = 0; i < k; ++i) d.insert(d.unit_packet(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.random_combination(rng));
+  }
+}
+BENCHMARK(BM_BitRandomCombination)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// E8 -- micro benchmarks for the finite-field substrate (google-benchmark).
+//
+// These are the instruction-level hot loops of the library: scalar GF
+// multiply, axpy over coefficient rows (generic vs the GF(256) row-table
+// variant), and the word-parallel GF(2) XOR the bit-packed decoder uses.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/bulk_ops.hpp"
+#include "gf/gf2m.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using ag::gf::GF256;
+using ag::gf::GF65536;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  ag::sim::Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint8_t>(rng.uniform(256));
+  return v;
+}
+
+void BM_GF256_Mul(benchmark::State& state) {
+  const auto a = random_bytes(4096, 1);
+  const auto b = random_bytes(4096, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GF256::mul(a[i & 4095], b[i & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_GF256_Mul);
+
+void BM_GF256_Inv(benchmark::State& state) {
+  const auto a = random_bytes(4096, 3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::uint8_t x = a[i & 4095];
+    benchmark::DoNotOptimize(GF256::inv(x ? x : 1));
+    ++i;
+  }
+}
+BENCHMARK(BM_GF256_Inv);
+
+void BM_GF65536_Mul(benchmark::State& state) {
+  ag::sim::Rng rng(4);
+  std::vector<std::uint16_t> a(4096), b(4096);
+  for (auto& x : a) x = static_cast<std::uint16_t>(rng.uniform(65536));
+  for (auto& x : b) x = static_cast<std::uint16_t>(rng.uniform(65536));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GF65536::mul(a[i & 4095], b[i & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_GF65536_Mul);
+
+void BM_Axpy_Generic(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  auto dst = random_bytes(len, 5);
+  const auto src = random_bytes(len, 6);
+  for (auto _ : state) {
+    ag::gf::axpy<GF256>(dst, src, std::uint8_t{37});
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_Axpy_Generic)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Axpy_Gf256Table(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  auto dst = random_bytes(len, 7);
+  const auto src = random_bytes(len, 8);
+  for (auto _ : state) {
+    ag::gf::axpy_gf256(dst, src, std::uint8_t{37});
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_Axpy_Gf256Table)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_XorWords(benchmark::State& state) {
+  const auto words = static_cast<std::size_t>(state.range(0));
+  ag::sim::Rng rng(9);
+  std::vector<std::uint64_t> dst(words), src(words);
+  for (auto& x : dst) x = rng();
+  for (auto& x : src) x = rng();
+  for (auto _ : state) {
+    ag::gf::xor_words(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words) * 8);
+}
+BENCHMARK(BM_XorWords)->Arg(4)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

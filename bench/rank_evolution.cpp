@@ -1,0 +1,106 @@
+// E12 -- rank evolution over time: the bottleneck, made visible.
+//
+// The analyses of Sections 3-4 track node ranks (dimension of the stored
+// subspace).  This bench records the minimum rank across nodes per round on
+// the barbell and renders it as an ASCII time series.  Uniform AG shows the
+// signature staircase of a bottleneck -- the minimum rank stalls while
+// helpful packets queue behind the bridge (the queue of Theorem 1's
+// reduction, literally) -- while TAG climbs at a steady ~1 rank/round once
+// its tree is up.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/stp_policies.hpp"
+#include "core/tag.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+using namespace ag;
+
+template <typename Proto>
+std::vector<std::size_t> min_rank_series(Proto& proto, sim::Rng& rng) {
+  std::vector<std::size_t> series;
+  sim::run_traced(proto, rng, 1000000, [&](std::uint64_t) {
+    std::size_t lo = proto.swarm().message_count();
+    for (graph::NodeId v = 0; v < proto.node_count(); ++v) {
+      lo = std::min(lo, proto.swarm().node(v).rank());
+    }
+    series.push_back(lo);
+  });
+  return series;
+}
+
+void render(const char* title, const std::vector<std::size_t>& series, std::size_t k) {
+  std::printf("\n%s (stopping time %zu rounds)\n", title, series.size());
+  const int height = 12;
+  const int width = 64;
+  for (int row = height; row >= 1; --row) {
+    const double level = static_cast<double>(k) * row / height;
+    std::string line;
+    for (int col = 0; col < width; ++col) {
+      const std::size_t idx =
+          std::min(series.size() - 1,
+                   static_cast<std::size_t>(static_cast<double>(col) *
+                                            static_cast<double>(series.size()) / width));
+      line += static_cast<double>(series[idx]) >= level ? '#' : ' ';
+    }
+    std::printf("%4.0f |%s\n", level, line.c_str());
+  }
+  std::printf("     +%s\n", std::string(width, '-').c_str());
+  std::printf("      round 0%*s%zu\n", width - 8, "", series.size());
+}
+}  // namespace
+
+int main() {
+  agbench::print_header(
+      "E12 | minimum node rank over time on the barbell (the bottleneck, visualised)",
+      "uniform AG's min-rank curve stalls behind the bridge (the Theorem 1 queue); "
+      "TAG climbs ~1 rank/round once its tree is built");
+
+  const std::size_t n = 48;
+  const std::size_t k = n;
+  const auto g = graph::make_barbell(n);
+
+  sim::Rng rng1(71);
+  core::AgConfig cfg;
+  core::UniformAG<core::Gf2Decoder> ag(g, core::all_to_all(n), cfg);
+  const auto ag_series = min_rank_series(ag, rng1);
+
+  sim::Rng rng2(72);
+  core::BroadcastStpConfig stp;
+  core::Tag<core::Gf2Decoder, core::BroadcastStpPolicy> tag(g, core::all_to_all(n),
+                                                            cfg, stp, rng2);
+  const auto tag_series = min_rank_series(tag, rng2);
+
+  render("uniform algebraic gossip, min rank", ag_series, k);
+  render("TAG + B_RR, min rank", tag_series, k);
+
+  // Quantify the stall *after warmup* (once min rank passed k/4): TAG's
+  // initial plateau is tree building, not a bottleneck; the signature of the
+  // bridge queue is stalling in the climb itself.
+  auto longest_stall = [&](const std::vector<std::size_t>& s) {
+    std::size_t best = 0, cur = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (s[i] < k / 4) continue;
+      cur = s[i] == s[i - 1] ? cur + 1 : 0;
+      best = std::max(best, cur);
+    }
+    return best;
+  };
+  const auto stall_ag = longest_stall(ag_series);
+  const auto stall_tag = longest_stall(tag_series);
+  std::printf("\nlongest min-rank stall past rank k/4: uniform AG %zu rounds, "
+              "TAG %zu rounds\n", stall_ag, stall_tag);
+  agbench::verdict(
+      ag_series.size() > tag_series.size() && stall_ag > stall_tag,
+      "the bridge queue is visible as min-rank stalls in uniform AG's climb and "
+      "absent once TAG pumps the bridge every round");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// P2P file swarm: one seed holds a file split into k = 64 blocks; peers form
+// a sparse random-regular overlay and gossip blocks until everyone can
+// reassemble the file -- the paper's k-dissemination problem with a single
+// source, and the original motivation for algebraic gossip in Deb et al.
+//
+// RLNC-coded gossip is compared with the classic "random useful block"
+// uncoded swarm.  The example reassembles the file at a spot-checked peer
+// from the decoded payloads and verifies it byte-for-byte.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/uncoded_gossip.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace ag;
+
+  const std::size_t peers = 96;
+  const std::size_t degree = 4;   // sparse overlay: each peer knows 4 others
+  const std::size_t k = 64;       // file blocks
+  const std::size_t block = 32;   // bytes per block (GF(256) symbols)
+
+  const graph::Graph overlay = graph::make_random_regular(peers, degree, 99);
+  std::printf("swarm: %zu peers, %zu-regular overlay, D=%u\n", peers, degree,
+              graph::diameter(overlay));
+  std::printf("file: %zu blocks x %zu bytes, seeded at peer 0\n\n", k, block);
+
+  core::AgConfig cfg;
+  cfg.payload_len = block;
+  sim::Rng rng(7);
+
+  core::UniformAG<core::Gf256Decoder> coded(overlay, core::single_source(k, 0), cfg);
+  const auto coded_res = sim::run(coded, rng, 1000000);
+
+  core::UncodedConfig ucfg;
+  core::UncodedGossip uncoded(overlay, core::single_source(k, 0), ucfg);
+  const auto uncoded_res = sim::run(uncoded, rng, 1000000);
+
+  std::printf("%-30s %8llu rounds\n", "RLNC swarm complete in",
+              static_cast<unsigned long long>(coded_res.rounds));
+  std::printf("%-30s %8llu rounds\n", "uncoded swarm complete in",
+              static_cast<unsigned long long>(uncoded_res.rounds));
+  std::printf("%-30s %8.2f\n", "coding gain",
+              static_cast<double>(uncoded_res.rounds) /
+                  static_cast<double>(coded_res.rounds));
+
+  // Reassemble the file at the peer farthest from the seed and verify.
+  const auto dist = graph::bfs_distances(overlay, 0);
+  graph::NodeId far = 0;
+  for (graph::NodeId v = 0; v < peers; ++v) {
+    if (dist[v] != graph::kUnreachable && dist[v] > dist[far]) far = v;
+  }
+  std::vector<std::uint8_t> file;
+  file.reserve(k * block);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto blk = coded.swarm().node(far).decoded_message(i);
+    file.insert(file.end(), blk.begin(), blk.end());
+  }
+  std::vector<std::uint8_t> want;
+  want.reserve(k * block);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto blk = core::RlncSwarm<core::Gf256Decoder>::expected_payload(i, block);
+    want.insert(want.end(), blk.begin(), blk.end());
+  }
+  const bool ok = file == want;
+  std::printf("\nreassembly at farthest peer %u (%u hops from seed): %s (%zu bytes)\n",
+              far, dist[far], ok ? "OK" : "FAILED", file.size());
+  std::printf("lower bound sanity: k/2 = %zu rounds (Theorem 3 counting argument)\n",
+              k / 2);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Quickstart: disseminate k = 8 messages over a 4x8 grid with uniform
+// algebraic gossip, then do the same with TAG, and verify every node decodes
+// every message payload.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/stp_policies.hpp"
+#include "core/tag.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace ag;
+
+  const graph::Graph g = graph::make_grid(4, 8);
+  const std::size_t n = g.node_count();
+  const std::size_t k = 8;
+
+  sim::Rng rng(/*seed=*/42);
+  const core::Placement placement = core::uniform_distinct(k, n, rng);
+
+  core::AgConfig cfg;
+  cfg.time_model = sim::TimeModel::Synchronous;
+  cfg.direction = sim::Direction::Exchange;
+  cfg.payload_len = 16;  // 16 bytes of payload per message over GF(256)
+
+  // --- Uniform algebraic gossip (Section 3) ---------------------------------
+  core::UniformAG<core::Gf256Decoder> uniform_ag(g, placement, cfg);
+  const sim::RunResult r1 = sim::run(uniform_ag, rng, /*max_rounds=*/100000);
+  std::printf("uniform algebraic gossip : %llu rounds (n=%zu, k=%zu, D=%u)\n",
+              static_cast<unsigned long long>(r1.rounds), n, k, graph::diameter(g));
+
+  // --- TAG with a round-robin broadcast spanning tree (Sections 4-5) --------
+  core::BroadcastStpConfig stp;
+  stp.comm = core::CommModel::RoundRobin;
+  core::Tag<core::Gf256Decoder, core::BroadcastStpPolicy> tag(g, placement, cfg, stp, rng);
+  const sim::RunResult r2 = sim::run(tag, rng, /*max_rounds=*/100000);
+  std::printf("TAG (B_RR spanning tree) : %llu rounds, tree ready at round %llu\n",
+              static_cast<unsigned long long>(r2.rounds),
+              static_cast<unsigned long long>(tag.tree_complete_round()));
+
+  // --- End-to-end decode verification ---------------------------------------
+  std::size_t decode_failures = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!uniform_ag.swarm().decodes_correctly(v, i)) ++decode_failures;
+      if (!tag.swarm().decodes_correctly(v, i)) ++decode_failures;
+    }
+  }
+  std::printf("decode check             : %s\n",
+              decode_failures == 0 ? "all nodes decoded all messages" : "FAILED");
+  return decode_failures == 0 ? 0 : 1;
+}

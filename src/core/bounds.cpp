@@ -1,0 +1,51 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+
+namespace ag::core {
+
+double avin_bound(std::size_t k, std::size_t n, std::size_t diameter,
+                  std::size_t max_degree) {
+  const double kk = static_cast<double>(k);
+  const double logn = std::log2(static_cast<double>(n));
+  const double d = static_cast<double>(diameter);
+  return (kk + logn + d) * static_cast<double>(max_degree);
+}
+
+std::string to_string(Table2Family f) {
+  switch (f) {
+    case Table2Family::Line: return "Line";
+    case Table2Family::Grid: return "Grid";
+    case Table2Family::BinaryTree: return "Binary Tree";
+  }
+  return "?";
+}
+
+double haeupler_bound(Table2Family f, std::size_t k, std::size_t n) {
+  const double kk = static_cast<double>(k);
+  const double nn = static_cast<double>(n);
+  const double log2n = std::log2(nn) * std::log2(nn);
+  switch (f) {
+    case Table2Family::Line: return kk + nn * log2n;
+    case Table2Family::Grid: return kk + std::sqrt(nn) * log2n;
+    case Table2Family::BinaryTree: return kk + nn * log2n;
+  }
+  return 0.0;
+}
+
+double avin_bound_table2(Table2Family f, std::size_t k, std::size_t n) {
+  const double kk = static_cast<double>(k);
+  const double nn = static_cast<double>(n);
+  switch (f) {
+    case Table2Family::Line: return kk + nn;
+    case Table2Family::Grid: return kk + std::sqrt(nn);
+    case Table2Family::BinaryTree: return kk + std::log2(nn);
+  }
+  return 0.0;
+}
+
+double improvement_factor(Table2Family f, std::size_t k, std::size_t n) {
+  return haeupler_bound(f, k, n) / avin_bound_table2(f, k, n);
+}
+
+}  // namespace ag::core

@@ -1,0 +1,42 @@
+// k-dissemination problem setup (Section 1): k <= n initial messages located
+// at some nodes (a node can hold more than one) must reach all n nodes.
+//
+// Placement maps message index -> owning node.  Payload bytes are generated
+// deterministically from the message index so end-to-end decoding can be
+// verified without carrying the inputs around.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace ag::core {
+
+struct Placement {
+  std::vector<graph::NodeId> owner;  // owner[i] holds initial message i
+
+  std::size_t message_count() const noexcept { return owner.size(); }
+
+  // Messages held by each node (inverse map).
+  std::vector<std::vector<std::size_t>> by_node(std::size_t n) const;
+};
+
+// All-to-all communication: k = n, message i originates at node i.
+Placement all_to_all(std::size_t n);
+
+// k messages at k distinct nodes chosen uniformly at random (requires k <= n).
+Placement uniform_distinct(std::size_t k, std::size_t n, sim::Rng& rng);
+
+// k messages placed independently and uniformly (repeats allowed).
+Placement uniform_with_repetition(std::size_t k, std::size_t n, sim::Rng& rng);
+
+// All k messages at one source node.
+Placement single_source(std::size_t k, graph::NodeId src);
+
+// Deterministic pseudo-random payload for message `index`; the same function
+// is used at placement time and at verification time.
+std::uint64_t payload_word(std::size_t message_index, std::size_t word_index);
+
+}  // namespace ag::core

@@ -1,0 +1,36 @@
+// Experiment runner shared by tests, benches and examples: repeat a
+// stochastic protocol run R times with independent seeds, collect stopping
+// times in rounds.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace ag::core {
+
+// `make` is invoked once per run with that run's Rng to construct the
+// protocol (placements and round-robin offsets consume randomness); the same
+// Rng then drives the run.  Throws if any run exceeds max_rounds -- a bound
+// experiment that hits its budget is a failed experiment, not a data point.
+template <typename MakeProto>
+std::vector<double> stopping_rounds(MakeProto&& make, std::size_t runs,
+                                    std::uint64_t seed, std::uint64_t max_rounds) {
+  std::vector<double> rounds;
+  rounds.reserve(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    sim::Rng rng = sim::Rng::for_run(seed, r);
+    auto proto = make(rng);
+    const sim::RunResult res = sim::run(proto, rng, max_rounds);
+    if (!res.completed) {
+      throw std::runtime_error("stopping_rounds: run exceeded max_rounds budget");
+    }
+    rounds.push_back(static_cast<double>(res.rounds));
+  }
+  return rounds;
+}
+
+}  // namespace ag::core

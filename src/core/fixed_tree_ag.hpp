@@ -1,0 +1,68 @@
+// Algebraic gossip on a tree with the partner fixed to the parent (Lemma 1):
+// every node EXCHANGEs with its tree parent on activation; the root initiates
+// nothing but answers within its children's exchanges.  Stopping time
+// O(k + log n + l_max) rounds in both time models w.h.p.
+//
+// This is exactly TAG Phase 2 run in isolation on an already-built tree; TAG
+// itself interleaves it with the spanning-tree protocol.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/ag_config.hpp"
+#include "core/swarm.hpp"
+#include "graph/spanning_tree.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+
+namespace ag::core {
+
+template <typename D>
+class FixedTreeAG
+    : public sim::Mailbox<FixedTreeAG<D>, typename D::packet_type> {
+  using Base = sim::Mailbox<FixedTreeAG<D>, typename D::packet_type>;
+  friend Base;
+
+ public:
+  using packet_type = typename D::packet_type;
+
+  FixedTreeAG(const graph::SpanningTree& tree, const Placement& placement, AgConfig cfg)
+      : Base(cfg.time_model, cfg.discard_same_sender_per_round),
+        tree_(&tree),
+        swarm_(tree.node_count(), placement, cfg.payload_len) {
+    if (cfg.drop_probability > 0.0) {
+      this->set_drop_probability(cfg.drop_probability, cfg.drop_seed);
+    }
+  }
+
+  std::size_t node_count() const noexcept { return tree_->node_count(); }
+  bool finished() const noexcept { return swarm_.all_complete(); }
+
+  void on_activate(graph::NodeId v, sim::Rng& rng) {
+    if (!tree_->has_parent(v)) return;  // root: passive
+    const graph::NodeId p = tree_->parent(v);
+    std::optional<packet_type> from_v = swarm_.combine(v, rng);
+    std::optional<packet_type> from_p = swarm_.combine(p, rng);
+    if (from_v) this->send(v, p, std::move(*from_v));
+    if (from_p) this->send(p, v, std::move(*from_p));
+  }
+
+  void end_round() {
+    this->flush_inbox();
+    ++round_;
+  }
+
+  const RlncSwarm<D>& swarm() const noexcept { return swarm_; }
+
+ private:
+  void deliver(graph::NodeId /*from*/, graph::NodeId to, packet_type&& pkt) {
+    swarm_.receive(to, pkt, round_);
+  }
+
+  const graph::SpanningTree* tree_;
+  RlncSwarm<D> swarm_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace ag::core

@@ -1,0 +1,263 @@
+// Spanning-tree gossip protocol (STP) policies, usable standalone (wrapped
+// in StpProtocol) or as Phase 1 of TAG.
+//
+// A policy provides:
+//   using message_type = ...;
+//   void activate(NodeId v, Rng&, Emit&& emit)      -- Phase-1 action of v
+//   void on_message(NodeId from, NodeId to, msg)    -- receive path
+//   bool has_parent(NodeId) / NodeId parent(NodeId)
+//   bool tree_complete()  -- every non-root node has a parent
+//   bool finished()       -- the policy's own standalone stopping rule
+//   const graph::SpanningTree& tree()
+//
+// BroadcastStpPolicy: 1-dissemination as an STP (Section 4.1): a single
+//   rumor spreads; a node's parent is the sender it first heard the rumor
+//   from.  With the round-robin communication model this is B_RR of
+//   Theorem 5 (O(n) rounds on any graph; <= 3n deterministic in sync).
+//
+// IsStpPolicy: the IS protocol of Censor-Hillel & Shachnai [5] as used in
+//   Section 6, simulated: each node maintains a monotone n-bit string of
+//   inputs heard; wakeups alternate a deterministic list step (odd) and a
+//   uniform random step (even); all contacts EXCHANGE full strings; a node's
+//   parent is the first sender whose message flipped the node's most
+//   significant missing bit (the bit of the designated root).  The
+//   deterministic list ordering is configurable -- see DESIGN.md Section 3
+//   for why FewestCommonNeighborsFirst stands in for [5]'s community-aware lists.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+#include "sim/partner.hpp"
+#include "sim/rng.hpp"
+#include "sim/time_model.hpp"
+
+namespace ag::core {
+
+using graph::NodeId;
+
+// ---------------------------------------------------------------------------
+// Broadcast-based STP.
+// ---------------------------------------------------------------------------
+
+enum class CommModel : std::uint8_t { Uniform, RoundRobin };
+
+struct BroadcastStpConfig {
+  CommModel comm = CommModel::RoundRobin;  // RoundRobin == B_RR of Theorem 5
+  sim::Direction direction = sim::Direction::Exchange;
+  NodeId origin = 0;
+};
+
+class BroadcastStpPolicy {
+ public:
+  // The rumor itself; carries no data, the sender id is the information.
+  struct message_type {};
+
+  BroadcastStpPolicy(const graph::Graph& g, const BroadcastStpConfig& cfg, sim::Rng& rng)
+      : g_(&g),
+        cfg_(cfg),
+        has_(g.node_count(), 0),
+        tree_(g.node_count()),
+        uniform_(g),
+        round_robin_(g, rng) {
+    tree_.set_root(cfg.origin);
+    has_[cfg.origin] = 1;
+    informed_ = 1;
+  }
+
+  template <typename Emit>
+  void activate(NodeId v, sim::Rng& rng, Emit&& emit) {
+    if (g_->degree(v) == 0) return;
+    const NodeId u = cfg_.comm == CommModel::Uniform ? uniform_.pick(v, rng)
+                                                     : round_robin_.pick(v, rng);
+    if (has_[v]) emit(v, u, message_type{});
+    if (cfg_.direction == sim::Direction::Exchange && has_[u]) emit(u, v, message_type{});
+  }
+
+  void on_message(NodeId from, NodeId to, const message_type& /*msg*/) {
+    if (has_[to]) return;
+    has_[to] = 1;
+    tree_.set_parent(to, from);
+    ++informed_;
+  }
+
+  bool has_parent(NodeId v) const { return tree_.has_parent(v); }
+  NodeId parent(NodeId v) const { return tree_.parent(v); }
+  bool tree_complete() const { return informed_ == g_->node_count(); }
+  // Standalone stopping rule: the broadcast is done when everyone is informed.
+  bool finished() const { return tree_complete(); }
+  const graph::SpanningTree& tree() const { return tree_; }
+
+  std::size_t informed_count() const { return informed_; }
+
+  // Wire size of one broadcast message: a rumor id, O(log n) bits.
+  double message_bits() const {
+    return std::max(1.0, std::ceil(std::log2(static_cast<double>(g_->node_count()))));
+  }
+
+ private:
+  const graph::Graph* g_;
+  BroadcastStpConfig cfg_;
+  std::vector<char> has_;
+  graph::SpanningTree tree_;
+  std::size_t informed_ = 0;
+  sim::UniformSelector uniform_;
+  sim::RoundRobinSelector round_robin_;
+};
+
+// ---------------------------------------------------------------------------
+// IS-based STP (Section 6).
+// ---------------------------------------------------------------------------
+
+enum class IsListOrder : std::uint8_t {
+  AdjacencyOrder,              // fixed arbitrary neighbor order (naive lists)
+  FewestCommonNeighborsFirst,  // bottleneck-edge-first; stands in for [5]'s lists
+};
+
+struct IsStpConfig {
+  IsListOrder order = IsListOrder::FewestCommonNeighborsFirst;
+  NodeId root = 0;  // the node whose bit is "most significant"
+};
+
+class IsStpPolicy {
+ public:
+  // The full monotone n-bit string a node has collected (IS sends large
+  // messages; that is exactly why TAG only uses it to build the tree).
+  using message_type = std::vector<std::uint64_t>;
+
+  IsStpPolicy(const graph::Graph& g, const IsStpConfig& cfg, sim::Rng& rng)
+      : g_(&g),
+        cfg_(cfg),
+        words_((g.node_count() + 63) / 64),
+        bits_(g.node_count()),
+        ones_(g.node_count(), 0),
+        steps_(g.node_count(), 0),
+        det_index_(g.node_count(), 0),
+        tree_(g.node_count()),
+        full_(g.node_count(), 0),
+        uniform_(g) {
+    const std::size_t n = g.node_count();
+    tree_.set_root(cfg.root);
+    for (NodeId v = 0; v < n; ++v) {
+      bits_[v].assign(words_, 0);
+      set_bit(bits_[v], v);
+      ones_[v] = 1;
+      if (n == 1) {
+        full_[v] = 1;
+        ++full_count_;
+      }
+    }
+    (void)rng;  // randomness is only consumed at run time (even steps)
+    // Deterministic contact lists ([5]'s lists are deterministic and
+    // ordered).  With FewestCommonNeighborsFirst the list cycles over the
+    // node's *cut-like* edges only: an edge (v, u) is cut-like when its
+    // endpoints share few common neighbors relative to their degrees (the
+    // barbell bridge shares none; intra-clique edges share ~n/2).  These are
+    // exactly the edges a uniform choice hits with probability 1/Theta(n),
+    // so visiting them on every deterministic step is what [5]'s community-
+    // aware lists buy: a bottleneck is crossed every other wakeup instead of
+    // every ~Delta wakeups.  Nodes with no cut-like edge (e.g. clique
+    // interiors) fall back to round-robin over all neighbors.
+    det_list_.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto nbrs = g.neighbors(v);
+      det_list_[v].assign(nbrs.begin(), nbrs.end());
+      if (cfg.order == IsListOrder::FewestCommonNeighborsFirst) {
+        std::vector<char> is_nbr(n, 0);
+        for (NodeId u : nbrs) is_nbr[u] = 1;
+        std::vector<NodeId> thin;
+        for (NodeId u : nbrs) {
+          std::size_t common = 0;
+          for (NodeId w : g.neighbors(u)) {
+            if (is_nbr[w]) ++common;
+          }
+          const std::size_t min_deg = std::min(g.degree(v), g.degree(u));
+          if (4 * common < min_deg) thin.push_back(u);
+        }
+        if (!thin.empty()) det_list_[v] = std::move(thin);
+      }
+    }
+  }
+
+  template <typename Emit>
+  void activate(NodeId v, sim::Rng& rng, Emit&& emit) {
+    if (g_->degree(v) == 0) return;
+    ++steps_[v];
+    NodeId u;
+    if (steps_[v] % 2 == 1) {
+      // Odd-numbered step: deterministic list.
+      auto& list = det_list_[v];
+      u = list[det_index_[v] % list.size()];
+      det_index_[v] = (det_index_[v] + 1) % list.size();
+    } else {
+      // Even-numbered step: randomized choice ([5] and Section 6).
+      u = uniform_.pick(v, rng);
+    }
+    // EXCHANGE of the full strings; both computed before either delivery.
+    emit(v, u, bits_[v]);
+    emit(u, v, bits_[u]);
+  }
+
+  void on_message(NodeId from, NodeId to, const message_type& msg) {
+    auto& mine = bits_[to];
+    const bool root_bit_before = test_bit(mine, cfg_.root);
+    std::size_t ones = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      mine[w] |= msg[w];
+      ones += static_cast<std::size_t>(std::popcount(mine[w]));
+    }
+    ones_[to] = ones;
+    if (!root_bit_before && test_bit(mine, cfg_.root) && to != cfg_.root &&
+        !tree_.has_parent(to)) {
+      tree_.set_parent(to, from);
+      ++parents_;
+    }
+    if (ones == g_->node_count() && !full_[to]) {
+      full_[to] = 1;
+      ++full_count_;
+    }
+  }
+
+  bool has_parent(NodeId v) const { return tree_.has_parent(v); }
+  NodeId parent(NodeId v) const { return tree_.parent(v); }
+  bool tree_complete() const { return parents_ == g_->node_count() - 1; }
+  // Standalone stopping rule: full information spreading (Theorem 6).
+  bool finished() const { return full_count_ == g_->node_count(); }
+  const graph::SpanningTree& tree() const { return tree_; }
+
+  std::size_t ones_count(NodeId v) const { return ones_[v]; }
+
+  // Wire size of one IS message: the full n-bit string -- "the IS protocol
+  // sends large messages" (Section 6), which is why TAG uses it only to
+  // build the tree.
+  double message_bits() const { return static_cast<double>(g_->node_count()); }
+
+ private:
+  static void set_bit(std::vector<std::uint64_t>& bits, NodeId i) {
+    bits[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  static bool test_bit(const std::vector<std::uint64_t>& bits, NodeId i) {
+    return (bits[i / 64] >> (i % 64)) & 1;
+  }
+
+  const graph::Graph* g_;
+  IsStpConfig cfg_;
+  std::size_t words_;
+  std::vector<std::vector<std::uint64_t>> bits_;
+  std::vector<std::size_t> ones_;
+  std::vector<std::uint64_t> steps_;
+  std::vector<std::uint64_t> det_index_;
+  std::vector<std::vector<NodeId>> det_list_;
+  graph::SpanningTree tree_;
+  std::size_t parents_ = 0;
+  std::vector<char> full_;
+  std::size_t full_count_ = 0;
+  sim::UniformSelector uniform_;
+};
+
+}  // namespace ag::core

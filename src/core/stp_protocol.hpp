@@ -1,0 +1,70 @@
+// Standalone runner for an STP policy: every activation is a Phase-1 step.
+//
+// Running BroadcastStpPolicy through this measures t(B) and d(B) (Theorem 5);
+// running IsStpPolicy measures the IS protocol's full-information-spreading
+// time (Theorem 6) and the induced tree's depth/diameter.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+
+namespace ag::core {
+
+template <typename Policy>
+class StpProtocol
+    : public sim::Mailbox<StpProtocol<Policy>, typename Policy::message_type> {
+  using Base = sim::Mailbox<StpProtocol<Policy>, typename Policy::message_type>;
+  friend Base;
+
+ public:
+  template <typename... Args>
+  explicit StpProtocol(sim::TimeModel tm, const graph::Graph& g, Args&&... args)
+      : Base(tm, /*discard_same_sender_per_round=*/false),
+        g_(&g),
+        policy_(g, std::forward<Args>(args)...) {}
+
+  std::size_t node_count() const noexcept { return g_->node_count(); }
+  bool finished() const { return policy_.finished(); }
+
+  void on_activate(graph::NodeId v, sim::Rng& rng) {
+    policy_.activate(v, rng, [this](graph::NodeId f, graph::NodeId t, auto&& m) {
+      this->send(f, t, std::forward<decltype(m)>(m));
+    });
+  }
+
+  void end_round() {
+    this->flush_inbox();
+    ++round_;
+    if (tree_complete_round_ == kNever && policy_.tree_complete()) {
+      tree_complete_round_ = round_;
+    }
+  }
+
+  Policy& policy() noexcept { return policy_; }
+  const Policy& policy() const noexcept { return policy_; }
+
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+  std::uint64_t tree_complete_round() const noexcept { return tree_complete_round_; }
+
+  // Total bits on the wire at the policy's per-message size.
+  double wire_bits() const {
+    return static_cast<double>(this->messages_sent()) * policy_.message_bits();
+  }
+
+ private:
+  void deliver(graph::NodeId from, graph::NodeId to,
+               typename Policy::message_type&& msg) {
+    policy_.on_message(from, to, msg);
+  }
+
+  const graph::Graph* g_;
+  Policy policy_;
+  std::uint64_t round_ = 0;
+  std::uint64_t tree_complete_round_ = kNever;
+};
+
+}  // namespace ag::core

@@ -1,0 +1,125 @@
+// RlncSwarm: the per-node RLNC state shared by every algebraic-gossip
+// protocol variant (uniform AG, TAG Phase 2, fixed-tree AG).
+//
+// Each node owns an incremental decoder; the swarm tracks how many nodes
+// have reached full rank (so protocols can answer finished() in O(1)), when
+// each node finished, and aggregate helpfulness statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/dissemination.hpp"
+#include "sim/rng.hpp"
+
+namespace ag::core {
+
+template <typename D>
+class RlncSwarm {
+ public:
+  using decoder_type = D;
+  using packet_type = typename D::packet_type;
+  using payload_elem =
+      typename decltype(std::declval<packet_type>().payload)::value_type;
+
+  // Builds n decoders for k = placement.message_count() messages with
+  // payload_len payload symbols each, and seeds the owners' decoders with
+  // their initial unit equations.
+  RlncSwarm(std::size_t n, const Placement& placement, std::size_t payload_len)
+      : k_(placement.message_count()), finish_round_(n, kNotFinished) {
+    nodes_.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) nodes_.emplace_back(k_, payload_len);
+    for (std::size_t i = 0; i < k_; ++i) {
+      auto& d = nodes_[placement.owner[i]];
+      d.insert(d.unit_packet(i, expected_payload(i, payload_len)));
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (nodes_[v].full_rank()) mark_finished(static_cast<graph::NodeId>(v), 0);
+    }
+  }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t message_count() const noexcept { return k_; }
+
+  const D& node(graph::NodeId v) const { return nodes_[v]; }
+
+  std::size_t complete_count() const noexcept { return complete_; }
+  bool all_complete() const noexcept { return complete_ == nodes_.size(); }
+
+  static constexpr std::uint64_t kNotFinished = ~std::uint64_t{0};
+  std::uint64_t finish_round(graph::NodeId v) const { return finish_round_[v]; }
+
+  std::uint64_t helpful_receives() const noexcept { return helpful_; }
+  std::uint64_t useless_receives() const noexcept { return useless_; }
+
+  // RLNC transmit rule for node v; nullopt when v stores nothing.
+  template <typename URBG>
+  std::optional<packet_type> combine(graph::NodeId v, URBG& rng) const {
+    return nodes_[v].random_combination(rng);
+  }
+
+  // Transmit rule with the coding ablations of AgConfig: no-recode forwards
+  // a stored equation; density < 1 uses sparse combinations.
+  template <typename URBG>
+  std::optional<packet_type> combine(graph::NodeId v, URBG& rng, bool recode,
+                                     double density) const {
+    if (!recode) return nodes_[v].random_stored_row(rng);
+    if (density >= 1.0) return nodes_[v].random_combination(rng);
+    return nodes_[v].random_combination(rng, density);
+  }
+
+  // Receive path: inserts into `to`'s decoder, updating completion tracking.
+  // `now_round` stamps the completion time.  Returns true iff helpful.
+  bool receive(graph::NodeId to, const packet_type& pkt, std::uint64_t now_round) {
+    auto& d = nodes_[to];
+    if (d.insert(pkt)) {
+      ++helpful_;
+      if (d.full_rank()) mark_finished(to, now_round);
+      return true;
+    }
+    ++useless_;
+    return false;
+  }
+
+  // The deterministic payload message i was created with (for verification).
+  // Symbols are sanitized through the decoder so they are valid field
+  // elements whatever the field order.
+  static std::vector<payload_elem> expected_payload(std::size_t i, std::size_t len) {
+    std::vector<payload_elem> out(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      out[j] = D::payload_symbol_from(payload_word(i, j));
+    }
+    return out;
+  }
+
+  // True iff node v decodes message i to exactly the payload it was sent with.
+  bool decodes_correctly(graph::NodeId v, std::size_t i) const {
+    const auto& d = nodes_[v];
+    if (!d.full_rank()) return false;
+    const auto got = d.decoded_message(i);
+    const auto want = expected_payload(i, d.payload_length());
+    if (got.size() != want.size()) return false;
+    for (std::size_t j = 0; j < want.size(); ++j)
+      if (got[j] != want[j]) return false;
+    return true;
+  }
+
+ private:
+  void mark_finished(graph::NodeId v, std::uint64_t round) {
+    if (finish_round_[v] == kNotFinished) {
+      finish_round_[v] = round;
+      ++complete_;
+    }
+  }
+
+  std::size_t k_;
+  std::vector<D> nodes_;
+  std::vector<std::uint64_t> finish_round_;
+  std::size_t complete_ = 0;
+  std::uint64_t helpful_ = 0;
+  std::uint64_t useless_ = 0;
+};
+
+}  // namespace ag::core

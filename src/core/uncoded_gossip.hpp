@@ -1,0 +1,93 @@
+// Uncoded store-and-forward gossip: the classical baseline RLNC is measured
+// against ("random message selection"; cf. multiple rumor mongering in Deb
+// et al.).  A node stores the plain messages it has seen and, on contact,
+// sends one chosen uniformly at random among them.  No coding, so a
+// transmission is useful only if the receiver happens to miss that exact
+// message -- the coupon-collector effect algebraic gossip eliminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dissemination.hpp"
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/partner.hpp"
+#include "sim/time_model.hpp"
+
+namespace ag::core {
+
+struct UncodedConfig {
+  sim::TimeModel time_model = sim::TimeModel::Synchronous;
+  sim::Direction direction = sim::Direction::Exchange;
+  double drop_probability = 0.0;  // failure injection; see E10
+  std::uint64_t drop_seed = 0x10551056ull;
+};
+
+class UncodedGossip
+    : public sim::Mailbox<UncodedGossip, std::uint32_t> {
+  using Base = sim::Mailbox<UncodedGossip, std::uint32_t>;
+  friend Base;
+
+ public:
+  UncodedGossip(const graph::Graph& g, const Placement& placement, UncodedConfig cfg)
+      : Base(cfg.time_model, /*discard_same_sender_per_round=*/false),
+        g_(&g),
+        cfg_(cfg),
+        k_(placement.message_count()),
+        known_(g.node_count()),
+        has_(g.node_count()),
+        selector_(g) {
+    for (std::size_t v = 0; v < g.node_count(); ++v) has_[v].assign(k_, 0);
+    for (std::size_t i = 0; i < k_; ++i) {
+      const graph::NodeId v = placement.owner[i];
+      if (!has_[v][i]) {
+        has_[v][i] = 1;
+        known_[v].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+      if (known_[v].size() == k_) ++complete_;
+    }
+    if (cfg.drop_probability > 0.0) {
+      this->set_drop_probability(cfg.drop_probability, cfg.drop_seed);
+    }
+  }
+
+  std::size_t node_count() const noexcept { return g_->node_count(); }
+  bool finished() const noexcept { return complete_ == g_->node_count(); }
+
+  void on_activate(graph::NodeId v, sim::Rng& rng) {
+    if (g_->degree(v) == 0) return;
+    const graph::NodeId u = selector_.pick(v, rng);
+    if (cfg_.direction != sim::Direction::Pull && !known_[v].empty()) {
+      this->send(v, u, known_[v][rng.uniform(known_[v].size())]);
+    }
+    if (cfg_.direction != sim::Direction::Push && !known_[u].empty()) {
+      this->send(u, v, known_[u][rng.uniform(known_[u].size())]);
+    }
+  }
+
+  void end_round() { this->flush_inbox(); }
+
+  std::size_t known_count(graph::NodeId v) const { return known_[v].size(); }
+
+ private:
+  void deliver(graph::NodeId /*from*/, graph::NodeId to, std::uint32_t&& msg) {
+    if (has_[to][msg]) return;
+    has_[to][msg] = 1;
+    known_[to].push_back(msg);
+    if (known_[to].size() == k_) ++complete_;
+  }
+
+  const graph::Graph* g_;
+  UncodedConfig cfg_;
+  std::size_t k_;
+  std::vector<std::vector<std::uint32_t>> known_;
+  std::vector<std::vector<char>> has_;
+  sim::UniformSelector selector_;
+  std::size_t complete_ = 0;
+};
+
+}  // namespace ag::core

@@ -1,0 +1,89 @@
+// Uniform Algebraic Gossip (Section 3).
+//
+// Each activation, the node draws a partner uniformly at random among its
+// neighbors (Definition 1) and runs PUSH / PULL / EXCHANGE with RLNC message
+// content.  Theorem 1: stopping time O((k + log n + D) * Delta) rounds in
+// both time models w.h.p.; Theorem 3: Theta(k + D) on constant-max-degree
+// graphs (sync).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/ag_config.hpp"
+#include "core/swarm.hpp"
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/partner.hpp"
+
+namespace ag::core {
+
+template <typename D>
+class UniformAG
+    : public sim::Mailbox<UniformAG<D>, typename D::packet_type> {
+  using Base = sim::Mailbox<UniformAG<D>, typename D::packet_type>;
+  friend Base;
+
+ public:
+  using packet_type = typename D::packet_type;
+
+  UniformAG(const graph::Graph& g, const Placement& placement, AgConfig cfg)
+      : Base(cfg.time_model, cfg.discard_same_sender_per_round),
+        g_(&g),
+        cfg_(cfg),
+        swarm_(g.node_count(), placement, cfg.payload_len),
+        selector_(g) {
+    if (cfg.drop_probability > 0.0) {
+      this->set_drop_probability(cfg.drop_probability, cfg.drop_seed);
+    }
+  }
+
+  std::size_t node_count() const noexcept { return g_->node_count(); }
+  bool finished() const noexcept { return swarm_.all_complete(); }
+
+  void on_activate(graph::NodeId v, sim::Rng& rng) {
+    if (g_->degree(v) == 0) return;
+    const graph::NodeId u = selector_.pick(v, rng);
+    // Compute both packets before sending either: the paper's EXCHANGE is a
+    // simultaneous swap, so u's reply must not already contain v's packet.
+    std::optional<packet_type> from_v, from_u;
+    if (cfg_.direction != sim::Direction::Pull) {
+      from_v = swarm_.combine(v, rng, cfg_.recode, cfg_.coding_density);
+    }
+    if (cfg_.direction != sim::Direction::Push) {
+      from_u = swarm_.combine(u, rng, cfg_.recode, cfg_.coding_density);
+    }
+    if (from_v) this->send(v, u, std::move(*from_v));
+    if (from_u) this->send(u, v, std::move(*from_u));
+  }
+
+  void end_round() {
+    this->flush_inbox();
+    ++round_;
+  }
+
+  const RlncSwarm<D>& swarm() const noexcept { return swarm_; }
+  std::uint64_t rounds_elapsed() const noexcept { return round_; }
+
+  // Total bits put on the wire so far (every coded packet has the fixed size
+  // (k + r) log2 q of Section 2).
+  double wire_bits() const noexcept {
+    return static_cast<double>(this->messages_sent()) *
+           D::packet_bits(swarm_.message_count(), cfg_.payload_len);
+  }
+
+ private:
+  void deliver(graph::NodeId from, graph::NodeId to, packet_type&& pkt) {
+    (void)from;
+    swarm_.receive(to, pkt, round_);
+  }
+
+  const graph::Graph* g_;
+  AgConfig cfg_;
+  RlncSwarm<D> swarm_;
+  sim::UniformSelector selector_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace ag::core

@@ -1,0 +1,28 @@
+// Finite-field concept used by the linear-algebra and RLNC layers.
+//
+// A field type F is a stateless tag: all operations are static and operate on
+// F::value_type.  This keeps field elements as raw integers (no wrapper-class
+// overhead in the Gaussian-elimination inner loops) while letting the decoder
+// and protocol layers be generic in the field order q, which the paper's
+// helpfulness bound (>= 1 - 1/q, Lemma 2.1 of Deb et al.) depends on.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace ag::gf {
+
+template <typename F>
+concept GaloisField = requires(typename F::value_type a, typename F::value_type b) {
+  typename F::value_type;
+  { F::order } -> std::convertible_to<std::uint32_t>;
+  { F::zero } -> std::convertible_to<typename F::value_type>;
+  { F::one } -> std::convertible_to<typename F::value_type>;
+  { F::add(a, b) } -> std::same_as<typename F::value_type>;
+  { F::sub(a, b) } -> std::same_as<typename F::value_type>;
+  { F::mul(a, b) } -> std::same_as<typename F::value_type>;
+  { F::div(a, b) } -> std::same_as<typename F::value_type>;
+  { F::inv(a) } -> std::same_as<typename F::value_type>;
+};
+
+}  // namespace ag::gf

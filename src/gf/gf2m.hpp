@@ -1,0 +1,106 @@
+// Generic GF(2^m) arithmetic via log/antilog tables.
+//
+// GF2m<M, Poly> is the field of order 2^M defined by the primitive polynomial
+// Poly (given with the x^M bit set, e.g. 0x11D for the Reed-Solomon GF(256)).
+// Tables are built once per instantiation at first use; lookups after that
+// are two loads and one add for mul, which is what the RLNC combination
+// builder and the Gaussian-elimination inner loop hit.
+//
+// Instantiations used by the library:
+//   GF16    = GF2m<4, 0x13>      (x^4 + x + 1)
+//   GF256   = GF2m<8, 0x11D>     (x^8 + x^4 + x^3 + x^2 + 1)
+//   GF65536 = GF2m<16, 0x1100B>  (x^16 + x^12 + x^3 + x + 1)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <type_traits>
+
+namespace ag::gf {
+
+namespace detail {
+
+// Smallest unsigned type that holds an element of GF(2^M).
+template <unsigned M>
+using gf_value_t = std::conditional_t<(M <= 8), std::uint8_t, std::uint16_t>;
+
+template <unsigned M, std::uint32_t Poly>
+struct Gf2mTables {
+  static constexpr std::uint32_t order = 1u << M;
+  using value_type = gf_value_t<M>;
+
+  // exp_ has 2*(order-1) entries so mul can skip the mod (order-1) reduction:
+  // log a + log b < 2*(order-1) always indexes in range.
+  std::array<value_type, 2 * (order - 1)> exp_{};
+  std::array<std::uint32_t, order> log_{};
+  std::array<value_type, order> inv_{};
+
+  constexpr Gf2mTables() {
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < order - 1; ++i) {
+      exp_[i] = static_cast<value_type>(x);
+      exp_[i + order - 1] = static_cast<value_type>(x);
+      log_[x] = i;
+      x <<= 1;
+      if (x & order) x ^= Poly;
+    }
+    log_[0] = 0;  // unused sentinel; callers guard against zero operands
+    inv_[0] = 0;  // inv(0) is undefined; keep the table total
+    for (std::uint32_t a = 1; a < order; ++a) {
+      inv_[a] = exp_[(order - 1) - log_[a]];
+    }
+  }
+};
+
+// Function-local static: built once, thread-safe, and keeps large tables
+// (GF(2^16): ~393 KiB) out of constexpr evaluation and the binary image.
+template <unsigned M, std::uint32_t Poly>
+const Gf2mTables<M, Poly>& tables() {
+  static const Gf2mTables<M, Poly> t{};
+  return t;
+}
+
+}  // namespace detail
+
+template <unsigned M, std::uint32_t Poly>
+struct GF2m {
+  static_assert(M >= 2 && M <= 16, "GF2m supports GF(2^2) .. GF(2^16)");
+  using value_type = detail::gf_value_t<M>;
+  static constexpr std::uint32_t order = 1u << M;
+  static constexpr value_type zero = 0;
+  static constexpr value_type one = 1;
+
+  static value_type add(value_type a, value_type b) noexcept {
+    return static_cast<value_type>(a ^ b);
+  }
+  static value_type sub(value_type a, value_type b) noexcept { return add(a, b); }
+
+  static value_type mul(value_type a, value_type b) noexcept {
+    if (a == 0 || b == 0) return 0;
+    const auto& t = detail::tables<M, Poly>();
+    return t.exp_[t.log_[a] + t.log_[b]];
+  }
+
+  static value_type inv(value_type a) noexcept {
+    const auto& t = detail::tables<M, Poly>();
+    return t.inv_[a];
+  }
+
+  static value_type div(value_type a, value_type b) noexcept {
+    if (a == 0) return 0;
+    const auto& t = detail::tables<M, Poly>();
+    return t.exp_[t.log_[a] + (order - 1) - t.log_[b]];
+  }
+
+  // x^e for the canonical generator x; used by tests to verify table identity.
+  static value_type pow_generator(std::uint32_t e) noexcept {
+    const auto& t = detail::tables<M, Poly>();
+    return t.exp_[e % (order - 1)];
+  }
+};
+
+using GF16 = GF2m<4, 0x13>;
+using GF256 = GF2m<8, 0x11D>;
+using GF65536 = GF2m<16, 0x1100B>;
+
+}  // namespace ag::gf

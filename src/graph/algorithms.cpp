@@ -1,0 +1,119 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ag::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+SpanningTree bfs_tree(const Graph& g, NodeId src) {
+  SpanningTree t(g.node_count());
+  t.set_root(src);
+  std::vector<bool> seen(g.node_count(), false);
+  std::queue<NodeId> q;
+  seen[src] = true;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        t.set_parent(v, u);
+        q.push(v);
+      }
+    }
+  }
+  return t;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId v) {
+  const auto dist = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (auto d : dist) {
+    if (d == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::uint32_t e = eccentricity(g, v);
+    if (e == kUnreachable) return kUnreachable;
+    best = std::max(best, e);
+  }
+  return best;
+}
+
+std::vector<NodeId> shortest_path(const Graph& g, NodeId src, NodeId dst) {
+  std::vector<NodeId> parent(g.node_count(), kNoParent);
+  std::vector<bool> seen(g.node_count(), false);
+  std::queue<NodeId> q;
+  seen[src] = true;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    if (u == dst) break;
+    for (NodeId v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        parent[v] = u;
+        q.push(v);
+      }
+    }
+  }
+  if (!seen[dst]) return {};
+  std::vector<NodeId> path;
+  for (NodeId cur = dst;; cur = parent[cur]) {
+    path.push_back(cur);
+    if (cur == src) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::size_t shortest_path_degree_sum(const Graph& g, NodeId src, NodeId dst) {
+  std::size_t sum = 0;
+  for (NodeId v : shortest_path(g, src, dst)) sum += g.degree(v);
+  return sum;
+}
+
+std::size_t max_shortest_path_degree_sum(const Graph& g) {
+  std::size_t best = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (u == v) continue;
+      best = std::max(best, shortest_path_degree_sum(g, u, v));
+    }
+  }
+  return best;
+}
+
+}  // namespace ag::graph

@@ -1,0 +1,44 @@
+// Graph algorithms the paper's constructions and bounds rest on:
+//   - BFS distances and shortest-path (BFS) spanning trees (Theorem 1's
+//     reduction starts with "perform a BFS on G_n").
+//   - Exact diameter D and eccentricities (the bounds are stated in D).
+//   - Connectivity check (all results assume connected G_n).
+//   - Shortest-path degree sums (Lemma 2: at most 3n along any shortest path).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace ag::graph {
+
+inline constexpr std::uint32_t kUnreachable = 0xFFFFFFFFu;
+
+// BFS distances from src; kUnreachable for disconnected nodes.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src);
+
+// Directed shortest-path spanning tree rooted at src (parent pointers toward
+// the root), as used in the proof of Theorem 1.
+SpanningTree bfs_tree(const Graph& g, NodeId src);
+
+bool is_connected(const Graph& g);
+
+// Eccentricity of v: max over u of dist(v, u).
+std::uint32_t eccentricity(const Graph& g, NodeId v);
+
+// Exact diameter via BFS from every node -- O(n(n + m)); fine at bench scale.
+std::uint32_t diameter(const Graph& g);
+
+// One shortest path from src to dst (inclusive); empty if unreachable.
+std::vector<NodeId> shortest_path(const Graph& g, NodeId src, NodeId dst);
+
+// Sum of deg(v) over nodes of one shortest src->dst path (Lemma 2 quantity).
+std::size_t shortest_path_degree_sum(const Graph& g, NodeId src, NodeId dst);
+
+// max over all (src, dst) of shortest_path_degree_sum -- the exhaustive
+// Lemma 2 check; O(n^2) BFS, bench/test use only.
+std::size_t max_shortest_path_degree_sum(const Graph& g);
+
+}  // namespace ag::graph

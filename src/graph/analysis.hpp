@@ -1,0 +1,60 @@
+// Spectral / cut analysis of communication graphs.
+//
+// Section 6 of the paper hinges on the *weak conductance* Phi_c(G) of
+// Censor-Hillel & Shachnai [5]: graphs like the barbell have terrible
+// conductance (one bridge) but large weak conductance (each node lives in a
+// dense community of >= n/c nodes), and that is what predicts IS / TAG+IS
+// performance.  Haeupler's Table 2 bound uses a min-cut measure gamma.  This
+// module provides:
+//
+//   conductance_exact  : exhaustive minimum conductance (n <= 24).
+//   conductance_sweep  : Fiedler-vector sweep upper bound (any n).
+//   stoer_wagner_min_cut : exact global min cut.
+//   CommunityStructure : communities = connected components after removing
+//     locally cut-like edges (few common neighbors), the same detector the
+//     IS simulation's deterministic lists use.
+//   weak_conductance_estimate : per Section 6, min over nodes of the
+//     conductance of the node's community, provided communities have >= n/c
+//     nodes (0 if some node's community is too small).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ag::graph {
+
+// Conductance of a vertex subset S: cut(S) / min(vol(S), vol(V \ S)).
+double subset_conductance(const Graph& g, const std::vector<bool>& in_set);
+
+// Exact minimum conductance over all nontrivial subsets; throws
+// std::invalid_argument for n > 24 (exponential enumeration).
+double conductance_exact(const Graph& g);
+
+// Upper bound on the minimum conductance via a sweep cut of the Fiedler
+// vector (power iteration on the normalized Laplacian).  Deterministic.
+double conductance_sweep(const Graph& g);
+
+// Exact global minimum edge cut (Stoer-Wagner, O(n^3)).
+std::size_t stoer_wagner_min_cut(const Graph& g);
+
+struct CommunityStructure {
+  // community[v] = id of v's community; communities are contiguous 0..count-1.
+  std::vector<std::size_t> community;
+  std::size_t count = 0;
+  std::vector<std::size_t> sizes;  // indexed by community id
+};
+
+// Communities = connected components of G minus its locally cut-like edges;
+// edge (u, v) is cut-like when 4 * |N(u) cap N(v)| < min(deg(u), deg(v)).
+CommunityStructure detect_communities(const Graph& g);
+
+// Estimate of Phi_c(G) (Section 6 / [5]): every node must belong to a
+// community of size >= n/c; the estimate is the minimum over communities of
+// the conductance of the community's *induced subgraph* (sweep bound).
+// Returns 0.0 when some community is smaller than n/c (weak conductance not
+// "large" at this c).
+double weak_conductance_estimate(const Graph& g, double c);
+
+}  // namespace ag::graph

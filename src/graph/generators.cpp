@@ -1,0 +1,173 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace ag::graph {
+
+Graph make_path(std::size_t n) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph make_cycle(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("cycle needs n >= 3");
+  Graph g = make_path(n);
+  g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+Graph make_complete(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_torus(std::size_t rows, std::size_t cols) {
+  Graph g = make_grid(rows, cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) g.add_edge(id(r, 0), id(r, cols - 1));
+  for (std::size_t c = 0; c < cols; ++c) g.add_edge(id(0, c), id(rows - 1, c));
+  return g;
+}
+
+Graph make_binary_tree(std::size_t n) {
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(i, (i - 1) / 2);
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+Graph make_hypercube(std::size_t dim) {
+  const std::size_t n = std::size_t{1} << dim;
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t b = 0; b < dim; ++b) {
+      const NodeId v = u ^ (NodeId{1} << b);
+      if (u < v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph make_barbell(std::size_t n) {
+  if (n < 4) throw std::invalid_argument("barbell needs n >= 4");
+  const std::size_t left = n / 2;
+  Graph g(n);
+  for (NodeId u = 0; u < left; ++u)
+    for (NodeId v = u + 1; v < left; ++v) g.add_edge(u, v);
+  for (auto u = static_cast<NodeId>(left); u < n; ++u)
+    for (auto v = static_cast<NodeId>(u + 1); v < n; ++v) g.add_edge(u, v);
+  g.add_edge(static_cast<NodeId>(left - 1), static_cast<NodeId>(left));
+  return g;
+}
+
+Graph make_clique_chain(std::size_t cliques, std::size_t clique_size) {
+  if (cliques < 1 || clique_size < 2)
+    throw std::invalid_argument("clique_chain needs cliques >= 1, clique_size >= 2");
+  const std::size_t n = cliques * clique_size;
+  Graph g(n);
+  for (std::size_t c = 0; c < cliques; ++c) {
+    const auto base = static_cast<NodeId>(c * clique_size);
+    for (NodeId u = 0; u < clique_size; ++u)
+      for (NodeId v = u + 1; v < clique_size; ++v)
+        g.add_edge(base + u, base + v);
+    if (c + 1 < cliques) {
+      // Bridge: last node of this clique to first node of the next.
+      g.add_edge(static_cast<NodeId>(base + clique_size - 1),
+                 static_cast<NodeId>(base + clique_size));
+    }
+  }
+  return g;
+}
+
+Graph make_lollipop(std::size_t n, std::size_t clique_size) {
+  if (clique_size < 2 || clique_size > n)
+    throw std::invalid_argument("lollipop needs 2 <= clique_size <= n");
+  Graph g(n);
+  for (NodeId u = 0; u < clique_size; ++u)
+    for (NodeId v = u + 1; v < clique_size; ++v) g.add_edge(u, v);
+  for (auto i = static_cast<NodeId>(clique_size); i < n; ++i)
+    g.add_edge(static_cast<NodeId>(i - 1), i);
+  return g;
+}
+
+Graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(p);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    Graph g(n);
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v)
+        if (coin(rng)) g.add_edge(u, v);
+    if (is_connected(g)) return g;
+  }
+  throw std::invalid_argument("erdos_renyi: could not produce a connected graph; raise p");
+}
+
+Graph make_random_regular(std::size_t n, std::size_t d, std::uint64_t seed) {
+  if ((n * d) % 2 != 0 || d >= n)
+    throw std::invalid_argument("random_regular needs n*d even and d < n");
+  std::mt19937_64 rng(seed);
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    // Pairing model: n*d half-edge stubs, random perfect matching.
+    std::vector<NodeId> stubs;
+    stubs.reserve(n * d);
+    for (NodeId v = 0; v < n; ++v)
+      for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+    std::shuffle(stubs.begin(), stubs.end(), rng);
+    Graph g(n);
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      if (!g.add_edge(stubs[i], stubs[i + 1])) {
+        simple = false;  // self-loop or duplicate: reject the whole pairing
+        break;
+      }
+    }
+    if (simple && is_connected(g)) return g;
+  }
+  throw std::invalid_argument("random_regular: rejection sampling failed; try different n, d");
+}
+
+Graph make_ring_with_chords(std::size_t n, std::size_t chords, std::uint64_t seed) {
+  Graph g = make_cycle(n);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>(n - 1));
+  std::size_t added = 0;
+  std::size_t guard = 0;
+  while (added < chords && guard < 100 * chords + 1000) {
+    ++guard;
+    if (g.add_edge(pick(rng), pick(rng))) ++added;
+  }
+  return g;
+}
+
+}  // namespace ag::graph

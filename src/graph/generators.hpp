@@ -1,0 +1,67 @@
+// Generators for every graph family the paper's results and examples use.
+//
+//   path / cycle / grid / torus / complete binary tree : constant-degree
+//     families of Theorem 3 and Table 2.
+//   complete        : the Deb et al. setting (Section 1.2).
+//   barbell         : two n/2-cliques joined by one edge -- the worst case
+//     for uniform algebraic gossip (Omega(n^2), Section 1.1) and the
+//     motivating example for TAG and for weak conductance (Section 6).
+//   clique_chain    : c cliques in a line, each pair joined by one edge; a
+//     parametric generalisation of the barbell used for the weak-conductance
+//     experiments (E1e).
+//   lollipop        : clique plus pendant path.
+//   star, hypercube, random_regular, erdos_renyi, ring_with_chords: extra
+//     coverage for "any graph" claims.
+//
+// All generators return connected graphs (erdos_renyi retries until
+// connected; random_regular retries until simple + connected).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ag::graph {
+
+Graph make_path(std::size_t n);
+Graph make_cycle(std::size_t n);
+Graph make_complete(std::size_t n);
+
+// rows x cols 2-D mesh; n = rows * cols, Delta <= 4, D = rows + cols - 2.
+Graph make_grid(std::size_t rows, std::size_t cols);
+// Same with wraparound edges; Delta = 4 (for rows, cols >= 3).
+Graph make_torus(std::size_t rows, std::size_t cols);
+
+// Complete binary tree with n nodes (heap indexing); Delta <= 3, D = Theta(log n).
+Graph make_binary_tree(std::size_t n);
+
+Graph make_star(std::size_t n);
+
+// Hypercube with 2^dim nodes.
+Graph make_hypercube(std::size_t dim);
+
+// Two cliques of floor(n/2) and ceil(n/2) nodes joined by a single edge.
+// Nodes [0, n/2) form the left clique; the bridge is (n/2 - 1, n/2).
+Graph make_barbell(std::size_t n);
+
+// `cliques` cliques of `clique_size` nodes each, neighbouring cliques joined
+// by one edge.  cliques = 2 gives the barbell shape.
+Graph make_clique_chain(std::size_t cliques, std::size_t clique_size);
+
+// Clique of m nodes with a path of (n - m) nodes hanging off node m - 1.
+Graph make_lollipop(std::size_t n, std::size_t clique_size);
+
+// Connected Erdos-Renyi G(n, p); retries (new edges resampled) until
+// connected.  Throws std::invalid_argument if p is too small to plausibly
+// connect (p < 0.9 * ln(n)/n after 200 retries).
+Graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed);
+
+// Random d-regular graph via pairing model, resampled until simple and
+// connected.  Requires n * d even, d < n.
+Graph make_random_regular(std::size_t n, std::size_t d, std::uint64_t seed);
+
+// Cycle plus `chords` random chords: a cheap small-diameter expander-ish
+// family with Delta <= 2 + O(chords/n) used for "any graph" sweeps.
+Graph make_ring_with_chords(std::size_t n, std::size_t chords, std::uint64_t seed);
+
+}  // namespace ag::graph

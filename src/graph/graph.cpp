@@ -1,0 +1,56 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ag::graph {
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  if (u == v) return false;
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  if (has_edge(u, v)) return false;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  // Scan the smaller list.
+  const auto& list = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const NodeId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(list.begin(), list.end(), target) != list.end();
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t d = 0;
+  for (const auto& l : adj_) d = std::max(d, l.size());
+  return d;
+}
+
+std::size_t Graph::min_degree() const noexcept {
+  if (adj_.empty()) return 0;
+  std::size_t d = adj_[0].size();
+  for (const auto& l : adj_) d = std::min(d, l.size());
+  return d;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "n=" << node_count() << " |E|=" << edge_count() << " Delta=" << max_degree();
+  return os.str();
+}
+
+}  // namespace ag::graph

@@ -1,0 +1,52 @@
+// Undirected simple graph as adjacency lists.
+//
+// The communication network G_n(V, E) of Section 2: connected, undirected,
+// no self-loops, no parallel edges.  Node ids are dense [0, n).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ag::graph {
+
+using NodeId = std::uint32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  std::size_t node_count() const noexcept { return adj_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  // Adds an undirected edge u-v.  Ignores self-loops and duplicate edges
+  // (returns false for both), so generators can be written naively.
+  bool add_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return adj_[v];
+  }
+
+  std::size_t degree(NodeId v) const noexcept { return adj_[v].size(); }
+
+  // Maximum degree Delta = max_v d_v.
+  std::size_t max_degree() const noexcept;
+  std::size_t min_degree() const noexcept;
+
+  // All edges as (u, v) with u < v.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  // Human-readable one-line summary (n, |E|, Delta), for bench table output.
+  std::string summary() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace ag::graph

@@ -1,0 +1,56 @@
+// Rooted spanning tree as a parent array -- the object every STP gossip
+// protocol (Section 2) must produce: "every node, except the root, will have
+// a single neighbor called the parent".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ag::graph {
+
+inline constexpr NodeId kNoParent = 0xFFFFFFFFu;
+
+class SpanningTree {
+ public:
+  SpanningTree() = default;
+  explicit SpanningTree(std::size_t n) : parent_(n, kNoParent), root_(kNoParent) {}
+
+  std::size_t node_count() const noexcept { return parent_.size(); }
+
+  NodeId root() const noexcept { return root_; }
+  void set_root(NodeId r) noexcept { root_ = r; }
+
+  NodeId parent(NodeId v) const noexcept { return parent_[v]; }
+  bool has_parent(NodeId v) const noexcept { return parent_[v] != kNoParent; }
+  void set_parent(NodeId v, NodeId p) noexcept { parent_[v] = p; }
+
+  // True iff every non-root node has a parent, the root has none, and parent
+  // pointers are acyclic (i.e. this really is a spanning tree).
+  bool is_complete() const;
+
+  // Depth of v: number of parent hops to the root (requires completeness).
+  std::uint32_t depth_of(NodeId v) const;
+
+  // Max depth over all nodes -- l_max in the paper's notation.
+  std::uint32_t depth() const;
+
+  // Diameter of the tree seen as an undirected graph -- d(S) in the paper.
+  std::uint32_t tree_diameter() const;
+
+  // Children lists (inverse of the parent array).
+  std::vector<std::vector<NodeId>> children() const;
+
+  // The tree as an undirected Graph.
+  Graph as_graph() const;
+
+  // Validates that every parent edge exists in g (the tree is a subgraph).
+  bool is_subgraph_of(const Graph& g) const;
+
+ private:
+  std::vector<NodeId> parent_;
+  NodeId root_ = kNoParent;
+};
+
+}  // namespace ag::graph

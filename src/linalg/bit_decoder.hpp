@@ -1,0 +1,218 @@
+// Bit-packed incremental decoder over GF(2).
+//
+// Same contract as DenseDecoder<GF2> but with coefficient rows packed 64 bits
+// per word, so a rank update costs O(k * rank / 64) word operations.  The
+// large stopping-time sweeps (e.g. the barbell's Theta(n^2) rounds, Table 1 /
+// E5) use this decoder: the paper's bounds hold for every q >= 2, and q = 2
+// only changes the helpfulness constant from 1 - 1/q to 1/2, not the order.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/bulk_ops.hpp"
+
+namespace ag::linalg {
+
+// A GF(2) coded packet; coefficients and payload both bit/word packed.
+struct BitPacket {
+  std::vector<std::uint64_t> coeffs;   // ceil(k/64) words
+  std::vector<std::uint64_t> payload;  // payload_words words
+
+  bool is_zero() const noexcept {
+    for (auto w : coeffs)
+      if (w != 0) return false;
+    return true;
+  }
+};
+
+class BitDecoder {
+ public:
+  using packet_type = BitPacket;
+
+  explicit BitDecoder(std::size_t k, std::size_t payload_words = 0)
+      : k_(k),
+        words_(words_for(k)),
+        payload_words_(payload_words),
+        pivot_row_(k, npos) {}
+
+  static constexpr std::size_t words_for(std::size_t bits) noexcept {
+    return (bits + 63) / 64;
+  }
+
+  std::size_t message_count() const noexcept { return k_; }
+  std::size_t payload_length() const noexcept { return payload_words_; }
+  std::size_t rank() const noexcept { return rows_.size(); }
+  bool full_rank() const noexcept { return rank() == k_; }
+
+  // Payload symbols are whole words over GF(2); any 64-bit value is valid.
+  static std::uint64_t payload_symbol_from(std::uint64_t w) noexcept { return w; }
+
+  // Wire size of one coded packet: k coefficient bits + payload bits.
+  static double symbol_bits() noexcept { return 64.0; }  // one payload word
+  static double packet_bits(std::size_t k, std::size_t payload_words) noexcept {
+    return static_cast<double>(k) + static_cast<double>(payload_words) * 64.0;
+  }
+
+  packet_type unit_packet(std::size_t i,
+                          std::span<const std::uint64_t> payload = {}) const {
+    assert(i < k_);
+    packet_type p;
+    p.coeffs.assign(words_, 0);
+    p.coeffs[i / 64] = std::uint64_t{1} << (i % 64);
+    p.payload.assign(payload.begin(), payload.end());
+    p.payload.resize(payload_words_, 0);
+    return p;
+  }
+
+  bool insert(const packet_type& pkt) {
+    assert(pkt.coeffs.size() == words_);
+    Row row;
+    row.coeffs = pkt.coeffs;
+    row.payload = pkt.payload;
+    row.payload.resize(payload_words_, 0);
+
+    // Full forward elimination: clear every set bit that collides with a
+    // stored pivot (not just up to the first pivot-free column -- the stored
+    // rows must stay fully reduced for decode() to read off the RREF).  The
+    // lowest set bit with no pivot row becomes the new pivot.  Stored rows
+    // are themselves fully reduced, so eliminating at column c clears bit c
+    // and toggles only strictly higher, non-pivot columns; pivot-free bits
+    // already seen (skip mask) are never disturbed.
+    std::size_t pivot = npos;
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t skip = 0;  // pivot-free bits of this word, kept as-is
+      while (true) {
+        const std::uint64_t active = row.coeffs[w] & ~skip;
+        if (active == 0) break;
+        const auto bit = static_cast<std::size_t>(std::countr_zero(active));
+        const std::size_t col = w * 64 + bit;
+        const std::size_t ri = pivot_row_[col];
+        if (ri == npos) {
+          if (pivot == npos) pivot = col;
+          skip |= std::uint64_t{1} << bit;
+        } else {
+          gf::xor_words(row.coeffs, rows_[ri].coeffs);
+          gf::xor_words(row.payload, rows_[ri].payload);
+        }
+      }
+    }
+    if (pivot == npos) return false;
+
+    row.pivot = pivot;
+    // Back-eliminate this pivot from existing rows (keeps RREF).
+    const std::size_t pw = pivot / 64;
+    const std::uint64_t pm = std::uint64_t{1} << (pivot % 64);
+    for (auto& r : rows_) {
+      if (r.coeffs[pw] & pm) {
+        gf::xor_words(r.coeffs, row.coeffs);
+        gf::xor_words(r.payload, row.payload);
+      }
+    }
+
+    pivot_row_[pivot] = rows_.size();
+    rows_.push_back(std::move(row));
+    return true;
+  }
+
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng) const {
+    if (rows_.empty()) return std::nullopt;
+    packet_type out;
+    out.coeffs.assign(words_, 0);
+    out.payload.assign(payload_words_, 0);
+    std::uint64_t bits = 0;
+    unsigned avail = 0;
+    for (const auto& r : rows_) {
+      if (avail == 0) {
+        bits = rng();
+        avail = 64;
+      }
+      const bool take = bits & 1;
+      bits >>= 1;
+      --avail;
+      if (!take) continue;
+      gf::xor_words(out.coeffs, r.coeffs);
+      gf::xor_words(out.payload, r.payload);
+    }
+    return out;
+  }
+
+  // Sparse-coding variant: each stored row joins the XOR independently with
+  // probability `density` (over GF(2) the only nonzero coefficient is 1).
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng, double density) const {
+    if (rows_.empty()) return std::nullopt;
+    packet_type out;
+    out.coeffs.assign(words_, 0);
+    out.payload.assign(payload_words_, 0);
+    for (const auto& r : rows_) {
+      const double u = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+      if (u >= density) continue;
+      gf::xor_words(out.coeffs, r.coeffs);
+      gf::xor_words(out.payload, r.payload);
+    }
+    return out;
+  }
+
+  // Store-and-forward variant (no recoding): a random stored row verbatim.
+  template <typename URBG>
+  std::optional<packet_type> random_stored_row(URBG& rng) const {
+    if (rows_.empty()) return std::nullopt;
+    const auto& r = rows_[rng() % rows_.size()];
+    packet_type out;
+    out.coeffs = r.coeffs;
+    out.payload = r.payload;
+    return out;
+  }
+
+  bool is_helpful_node(const BitDecoder& other) const {
+    if (full_rank()) return false;
+    for (const auto& r : other.rows_) {
+      if (!contains(r.coeffs)) return true;
+    }
+    return false;
+  }
+
+  bool contains(std::span<const std::uint64_t> coeffs) const {
+    assert(coeffs.size() == words_);
+    std::vector<std::uint64_t> tmp(coeffs.begin(), coeffs.end());
+    for (std::size_t w = 0; w < words_; ++w) {
+      while (tmp[w] != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(tmp[w]));
+        const std::size_t col = w * 64 + bit;
+        const std::size_t ri = pivot_row_[col];
+        if (ri == npos) return false;
+        gf::xor_words(tmp, rows_[ri].coeffs);
+      }
+    }
+    return true;
+  }
+
+  std::span<const std::uint64_t> decoded_message(std::size_t i) const {
+    assert(full_rank() && i < k_);
+    return rows_[pivot_row_[i]].payload;
+  }
+
+ private:
+  struct Row {
+    std::vector<std::uint64_t> coeffs;
+    std::vector<std::uint64_t> payload;
+    std::size_t pivot = 0;
+  };
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t k_;
+  std::size_t words_;
+  std::size_t payload_words_;
+  std::vector<Row> rows_;
+  std::vector<std::size_t> pivot_row_;
+};
+
+}  // namespace ag::linalg

@@ -1,0 +1,21 @@
+// Concept tying DenseDecoder<F> and BitDecoder together so that nodes and
+// protocols can be generic over the coefficient representation.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+namespace ag::linalg {
+
+template <typename D>
+concept RlncDecoder = requires(D d, const D cd, const typename D::packet_type& pkt,
+                               std::size_t i) {
+  typename D::packet_type;
+  { cd.message_count() } -> std::convertible_to<std::size_t>;
+  { cd.rank() } -> std::convertible_to<std::size_t>;
+  { cd.full_rank() } -> std::convertible_to<bool>;
+  { d.insert(pkt) } -> std::convertible_to<bool>;
+  { cd.unit_packet(i) } -> std::convertible_to<typename D::packet_type>;
+};
+
+}  // namespace ag::linalg

@@ -1,0 +1,245 @@
+// Incremental Gaussian-elimination decoder over a generic finite field.
+//
+// This is the data structure every algebraic-gossip node maintains (Section 2
+// of the paper): a matrix of linear equations over F_q in the k unknown
+// messages, kept in reduced row-echelon form.  A received packet is appended
+// iff it is linearly independent of the stored rows -- i.e. iff it is a
+// "helpful message" (Definition 3); otherwise it is ignored.  Once the rank
+// reaches k the node solves the system, which in RREF is a read-off.
+//
+// Cost per insert: O(k * rank) field operations.  Rows are normalized
+// (pivot = 1) and back-eliminated on insertion so that full rank implies the
+// identity matrix and decode() is O(1) per message.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/bulk_ops.hpp"
+#include "gf/field_concept.hpp"
+
+namespace ag::linalg {
+
+// A coded packet: coefficient vector over F (length k) plus payload symbols
+// over the same field (length r).  The pair represents the linear equation
+//   sum_i coeffs[i] * x_i = payload.
+template <gf::GaloisField F>
+struct DensePacket {
+  std::vector<typename F::value_type> coeffs;
+  std::vector<typename F::value_type> payload;
+
+  bool is_zero() const noexcept {
+    for (auto c : coeffs)
+      if (c != F::zero) return false;
+    return true;
+  }
+};
+
+template <gf::GaloisField F>
+class DenseDecoder {
+ public:
+  using field_type = F;
+  using value_type = typename F::value_type;
+  using packet_type = DensePacket<F>;
+
+  // k: number of unknown messages; payload_len: symbols per message payload.
+  explicit DenseDecoder(std::size_t k, std::size_t payload_len = 0)
+      : k_(k), payload_len_(payload_len), pivot_row_(k, npos) {}
+
+  std::size_t message_count() const noexcept { return k_; }
+  std::size_t payload_length() const noexcept { return payload_len_; }
+  std::size_t rank() const noexcept { return rows_.size(); }
+  bool full_rank() const noexcept { return rank() == k_; }
+
+  // Maps an arbitrary 64-bit word to a valid payload symbol of this field.
+  static value_type payload_symbol_from(std::uint64_t w) noexcept {
+    return static_cast<value_type>(w % F::order);
+  }
+
+  // Wire size of one coded packet (Section 2: "the length of each message is
+  // r log2 q + k log2 q bits").
+  static double symbol_bits() noexcept { return std::log2(static_cast<double>(F::order)); }
+  static double packet_bits(std::size_t k, std::size_t payload_len) noexcept {
+    return static_cast<double>(k + payload_len) * symbol_bits();
+  }
+
+  // Builds the unit equation e_i * x = payload for an initial message a node
+  // holds at protocol start.
+  packet_type unit_packet(std::size_t i, std::span<const value_type> payload = {}) const {
+    assert(i < k_);
+    packet_type p;
+    p.coeffs.assign(k_, F::zero);
+    p.coeffs[i] = F::one;
+    p.payload.assign(payload.begin(), payload.end());
+    p.payload.resize(payload_len_, F::zero);
+    return p;
+  }
+
+  // Inserts a packet; returns true iff it increased the rank (was helpful).
+  bool insert(const packet_type& pkt) {
+    assert(pkt.coeffs.size() == k_);
+    Row row;
+    row.coeffs = pkt.coeffs;
+    row.payload = pkt.payload;
+    row.payload.resize(payload_len_, F::zero);
+
+    // Forward-eliminate against stored rows.
+    for (std::size_t p = 0; p < k_; ++p) {
+      const value_type c = row.coeffs[p];
+      if (c == F::zero) continue;
+      const std::size_t ri = pivot_row_[p];
+      if (ri == npos) continue;
+      eliminate(row, rows_[ri], c);
+    }
+
+    // Find the pivot of what survives.
+    std::size_t pivot = npos;
+    for (std::size_t p = 0; p < k_; ++p) {
+      if (row.coeffs[p] != F::zero) {
+        pivot = p;
+        break;
+      }
+    }
+    if (pivot == npos) return false;  // linearly dependent: not helpful
+
+    // Normalize so the pivot element is 1.
+    const value_type piv_inv = F::inv(row.coeffs[pivot]);
+    gf::scale<F>(std::span<value_type>(row.coeffs), piv_inv);
+    gf::scale<F>(std::span<value_type>(row.payload), piv_inv);
+    row.pivot = pivot;
+
+    // Back-eliminate this pivot from all existing rows to keep RREF.
+    for (auto& r : rows_) {
+      const value_type c = r.coeffs[pivot];
+      if (c != F::zero) eliminate(r, row, c);
+    }
+
+    pivot_row_[pivot] = rows_.size();
+    rows_.push_back(std::move(row));
+    return true;
+  }
+
+  // Emits a uniformly random linear combination of the stored equations
+  // (the RLNC transmit rule).  Coefficients are i.i.d. uniform over F_q,
+  // so the all-zero combination is possible, exactly as the paper assumes
+  // when it lower-bounds helpfulness by 1 - 1/q.  Returns nullopt when the
+  // node stores nothing (it has nothing to send).
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng) const {
+    if (rows_.empty()) return std::nullopt;
+    packet_type out;
+    out.coeffs.assign(k_, F::zero);
+    out.payload.assign(payload_len_, F::zero);
+    for (const auto& r : rows_) {
+      const auto c = static_cast<value_type>(rng() % F::order);
+      if (c == F::zero) continue;
+      gf::axpy<F>(std::span<value_type>(out.coeffs),
+                  std::span<const value_type>(r.coeffs), c);
+      gf::axpy<F>(std::span<value_type>(out.payload),
+                  std::span<const value_type>(r.payload), c);
+    }
+    return out;
+  }
+
+  // Sparse-coding variant (systems extension; kodo-style density knob): each
+  // stored row joins the combination independently with probability
+  // `density`, with a uniform *nonzero* coefficient.  density = 1 keeps every
+  // row (with nonzero coefficients, so strictly denser than the paper's
+  // uniform rule); low densities shrink the helpfulness probability, which
+  // bench E15 quantifies.  The all-zero packet is emitted when no row is
+  // selected -- part of the density trade-off.
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng, double density) const {
+    if (rows_.empty()) return std::nullopt;
+    packet_type out;
+    out.coeffs.assign(k_, F::zero);
+    out.payload.assign(payload_len_, F::zero);
+    for (const auto& r : rows_) {
+      const double u = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+      if (u >= density) continue;
+      const auto c = static_cast<value_type>(1 + rng() % (F::order - 1));
+      gf::axpy<F>(std::span<value_type>(out.coeffs),
+                  std::span<const value_type>(r.coeffs), c);
+      gf::axpy<F>(std::span<value_type>(out.payload),
+                  std::span<const value_type>(r.payload), c);
+    }
+    return out;
+  }
+
+  // Store-and-forward variant (no recoding): emits a uniformly random
+  // *stored* equation verbatim.  This is what a node that cannot recode
+  // (e.g. forwarding source packets only) would send; bench E15 shows why
+  // recoding matters on multi-hop topologies.
+  template <typename URBG>
+  std::optional<packet_type> random_stored_row(URBG& rng) const {
+    if (rows_.empty()) return std::nullopt;
+    const auto& r = rows_[rng() % rows_.size()];
+    packet_type out;
+    out.coeffs = r.coeffs;
+    out.payload = r.payload;
+    return out;
+  }
+
+  // True iff a combination emitted by `other` can be helpful to us, i.e.
+  // other's row space is not contained in ours (Definition 3: helpful node).
+  bool is_helpful_node(const DenseDecoder& other) const {
+    if (full_rank()) return false;
+    for (const auto& r : other.rows_) {
+      if (!contains(r.coeffs)) return true;
+    }
+    return false;
+  }
+
+  // Whether `coeffs` lies in the row space of this decoder.
+  bool contains(std::span<const value_type> coeffs) const {
+    assert(coeffs.size() == k_);
+    std::vector<value_type> tmp(coeffs.begin(), coeffs.end());
+    for (std::size_t p = 0; p < k_; ++p) {
+      const value_type c = tmp[p];
+      if (c == F::zero) continue;
+      const std::size_t ri = pivot_row_[p];
+      if (ri == npos) return false;
+      gf::axpy<F>(std::span<value_type>(tmp),
+                  std::span<const value_type>(rows_[ri].coeffs), c);
+      // After elimination tmp[p] == 0 (pivot normalized to 1, c + c = 0).
+    }
+    for (auto v : tmp)
+      if (v != F::zero) return false;
+    return true;
+  }
+
+  // Returns message i's payload; requires full rank.
+  std::span<const value_type> decoded_message(std::size_t i) const {
+    assert(full_rank() && i < k_);
+    return rows_[pivot_row_[i]].payload;
+  }
+
+ private:
+  struct Row {
+    std::vector<value_type> coeffs;
+    std::vector<value_type> payload;
+    std::size_t pivot = 0;
+  };
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  // target -= factor * source (characteristic 2: add == sub).
+  static void eliminate(Row& target, const Row& source, value_type factor) {
+    gf::axpy<F>(std::span<value_type>(target.coeffs),
+                std::span<const value_type>(source.coeffs), factor);
+    gf::axpy<F>(std::span<value_type>(target.payload),
+                std::span<const value_type>(source.payload), factor);
+  }
+
+  std::size_t k_;
+  std::size_t payload_len_;
+  std::vector<Row> rows_;
+  std::vector<std::size_t> pivot_row_;  // pivot column -> row index, npos if none
+};
+
+}  // namespace ag::linalg

@@ -1,0 +1,93 @@
+#include "queueing/jackson.hpp"
+
+#include <cassert>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace ag::queueing {
+
+JacksonLine::JacksonLine(std::size_t queues, double mu, double lambda,
+                         std::size_t real_customers)
+    : queues_(queues), mu_(mu), lambda_(lambda), k_(real_customers) {
+  if (queues == 0) throw std::invalid_argument("need at least one queue");
+  if (!(lambda < mu)) throw std::invalid_argument("stability requires lambda < mu");
+}
+
+JacksonRun JacksonLine::run(sim::Rng& rng) const {
+  // Customer tag: real customers numbered 1..k, dummies 0.
+  struct Customer {
+    std::uint32_t real_index;  // 0 for dummy
+  };
+
+  std::vector<std::deque<Customer>> queue(queues_);
+  std::vector<char> busy(queues_, 0);
+
+  // Stationary initial dummies: P(L = j) = (1 - rho) rho^j, rho = lambda/mu.
+  const double rho = lambda_ / mu_;
+  for (auto& q : queue) {
+    // Sample geometric-on-{0,1,...} by counting Bernoulli(rho) successes.
+    while (rng.bernoulli(rho)) q.push_back(Customer{0});
+  }
+
+  struct Event {
+    double time;
+    std::size_t queue_index;  // completion at this queue; arrivals use queues_
+    bool operator>(const Event& o) const { return time > o.time; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+
+  auto start_service = [&](std::size_t qi, double now) {
+    if (busy[qi] || queue[qi].empty()) return;
+    busy[qi] = 1;
+    heap.push(Event{now + rng.exponential(mu_), qi});
+  };
+
+  for (std::size_t qi = 0; qi < queues_; ++qi) start_service(qi, 0.0);
+
+  // Pre-draw the Poisson arrival process of the k real customers.
+  double t = 0.0;
+  std::vector<double> arrivals(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    t += rng.exponential(lambda_);
+    arrivals[i] = t;
+  }
+  std::size_t next_arrival = 0;
+  if (k_ > 0) heap.push(Event{arrivals[0], queues_});
+
+  JacksonRun out;
+  out.t1 = k_ > 0 ? arrivals.back() : 0.0;
+
+  std::size_t real_departed = 0;
+  while (!heap.empty() && real_departed < k_) {
+    const Event e = heap.top();
+    heap.pop();
+    if (e.queue_index == queues_) {
+      // Real-customer arrival at the farthest queue.
+      queue[queues_ - 1].push_back(Customer{static_cast<std::uint32_t>(next_arrival + 1)});
+      ++next_arrival;
+      if (next_arrival < k_) heap.push(Event{arrivals[next_arrival], queues_});
+      start_service(queues_ - 1, e.time);
+      continue;
+    }
+    // Service completion at queue e.queue_index.
+    const std::size_t qi = e.queue_index;
+    assert(!queue[qi].empty());
+    const Customer c = queue[qi].front();
+    queue[qi].pop_front();
+    busy[qi] = 0;
+    if (qi == 0) {
+      if (c.real_index != 0) {
+        ++real_departed;
+        if (real_departed == k_) out.last_real_departure = e.time;
+      }
+    } else {
+      queue[qi - 1].push_back(c);
+      start_service(qi - 1, e.time);
+    }
+    start_service(qi, e.time);
+  }
+  return out;
+}
+
+}  // namespace ag::queueing

@@ -1,0 +1,43 @@
+// The open Jackson line network of Lemma 7 / Figure 1(e).
+//
+// All k "real" customers are taken out of the system and re-enter the
+// farthest queue as a Poisson(lambda = mu/2) stream; every queue starts with
+// dummy customers drawn from the rho = 1/2 stationary distribution
+// (P(L = j) = (1 - rho) rho^j), so Jackson's theorem applies from t = 0.
+// The run records t1 (arrival time of the k-th real customer at the farthest
+// queue) and t2' (the k-th real customer's traversal of the line), whose sum
+// bounds the stopping time of Q-hat^line; Lemma 7 proves
+// t1 + t2 = O((k + lmax + log n)/mu) w.p. >= 1 - 1/n^2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "queueing/service.hpp"
+#include "sim/rng.hpp"
+
+namespace ag::queueing {
+
+struct JacksonRun {
+  double t1 = 0.0;               // k-th real arrival enters the last queue
+  double last_real_departure = 0.0;  // k-th real customer leaves the root
+  double stopping_time() const { return last_real_departure; }
+};
+
+class JacksonLine {
+ public:
+  // `queues` M/M/1 queues in series (index 0 is the root/exit), exponential
+  // service rate mu at every queue, Poisson(lambda) real-customer arrivals
+  // at queue `queues - 1`.  Requires lambda < mu.
+  JacksonLine(std::size_t queues, double mu, double lambda, std::size_t real_customers);
+
+  JacksonRun run(sim::Rng& rng) const;
+
+ private:
+  std::size_t queues_;
+  double mu_;
+  double lambda_;
+  std::size_t k_;
+};
+
+}  // namespace ag::queueing

@@ -1,0 +1,45 @@
+#include "queueing/line_network.hpp"
+
+#include <stdexcept>
+
+namespace ag::queueing {
+
+graph::SpanningTree make_line_tree(std::size_t queues) {
+  graph::SpanningTree t(queues);
+  t.set_root(0);
+  for (graph::NodeId v = 1; v < queues; ++v) t.set_parent(v, v - 1);
+  return t;
+}
+
+std::vector<std::size_t> merge_levels_placement(const graph::SpanningTree& tree,
+                                                const std::vector<std::size_t>& initial) {
+  const std::uint32_t depth = tree.depth();
+  std::vector<std::size_t> placement(depth + 1, 0);
+  for (graph::NodeId v = 0; v < tree.node_count(); ++v) {
+    placement[tree.depth_of(v)] += initial[v];
+  }
+  return placement;
+}
+
+std::vector<std::size_t> move_one_back(std::vector<std::size_t> placement, std::size_t m) {
+  if (m + 1 >= placement.size()) throw std::invalid_argument("m must not be the last queue");
+  if (placement[m] == 0) throw std::invalid_argument("queue m is empty");
+  --placement[m];
+  ++placement[m + 1];
+  return placement;
+}
+
+std::vector<std::size_t> all_at_farthest(std::size_t queues, std::size_t k) {
+  std::vector<std::size_t> placement(queues, 0);
+  placement.back() = k;
+  return placement;
+}
+
+NetworkRun run_line(std::size_t queues, const std::vector<std::size_t>& placement,
+                    ServiceDist service, sim::Rng& rng) {
+  const graph::SpanningTree line = make_line_tree(queues);
+  const TreeQueueNetwork net(line, service, placement);
+  return net.run(rng);
+}
+
+}  // namespace ag::queueing

@@ -1,0 +1,42 @@
+// Line-of-queues systems (Definitions 6-8) and the placement transforms the
+// dominance chain of Theorem 2's proof manipulates:
+//
+//   Q^line      : levels of a tree merged into a single queue per level.
+//   Q`^line     : one customer moved one queue backward (Lemma 6).
+//   Q-hat^line  : all customers moved to the farthest queue (Corollary 1).
+//
+// A line of L+1 queues is the path spanning tree 0 <- 1 <- ... <- L rooted
+// at 0, so runs reuse TreeQueueNetwork.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/spanning_tree.hpp"
+#include "queueing/service.hpp"
+#include "queueing/tree_network.hpp"
+#include "sim/rng.hpp"
+
+namespace ag::queueing {
+
+// Path spanning tree with `queues` nodes: node 0 is the root, node i's
+// parent is i-1.
+graph::SpanningTree make_line_tree(std::size_t queues);
+
+// Collapses a tree placement to per-level counts (Definition 6): customers
+// initially at depth l of `tree` start in queue l of the line.
+std::vector<std::size_t> merge_levels_placement(const graph::SpanningTree& tree,
+                                                const std::vector<std::size_t>& initial);
+
+// Lemma 6 transform: take one customer from queue `m` (must be non-empty,
+// m < placement.size() - 1) and put it in queue m+1.
+std::vector<std::size_t> move_one_back(std::vector<std::size_t> placement, std::size_t m);
+
+// Corollary 1 placement: all k customers at the farthest queue.
+std::vector<std::size_t> all_at_farthest(std::size_t queues, std::size_t k);
+
+// Convenience: run a line system with the given per-queue placement.
+NetworkRun run_line(std::size_t queues, const std::vector<std::size_t>& placement,
+                    ServiceDist service, sim::Rng& rng);
+
+}  // namespace ag::queueing

@@ -1,0 +1,40 @@
+#include "queueing/mm1.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ag::queueing {
+
+std::vector<double> departure_times(std::span<const double> arrivals,
+                                    std::span<const double> services) {
+  assert(arrivals.size() == services.size());
+  std::vector<double> d(arrivals.size());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    assert(i == 0 || arrivals[i] >= arrivals[i - 1]);
+    prev = std::max(arrivals[i], prev) + services[i];
+    d[i] = prev;
+  }
+  return d;
+}
+
+std::vector<double> equilibrium_sojourns(double lambda, double mu, std::size_t warmup,
+                                         std::size_t count, sim::Rng& rng) {
+  assert(lambda < mu);
+  const std::size_t total = warmup + count;
+  std::vector<double> arrivals(total);
+  std::vector<double> services(total);
+  double t = 0.0;
+  for (std::size_t i = 0; i < total; ++i) {
+    t += rng.exponential(lambda);
+    arrivals[i] = t;
+    services[i] = rng.exponential(mu);
+  }
+  const auto dep = departure_times(arrivals, services);
+  std::vector<double> sojourns;
+  sojourns.reserve(count);
+  for (std::size_t i = warmup; i < total; ++i) sojourns.push_back(dep[i] - arrivals[i]);
+  return sojourns;
+}
+
+}  // namespace ag::queueing

@@ -1,0 +1,28 @@
+// Single FCFS queue primitives.
+//
+// departure_times() is the recurrence of Figure 2, d_i = max(a_i, d_{i-1}) + X_i,
+// used directly (with common service times X) to verify Lemma 3: replacing the
+// arrival sequence by a pointwise-later one yields pointwise-later departures.
+// equilibrium_sojourns() samples sojourn times of a stationary M/M/1 queue to
+// verify Lemma 8: sojourn ~ Exp(mu - lambda).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace ag::queueing {
+
+// FCFS departure times for given arrival times and per-customer service
+// times.  Requires arrivals sorted non-decreasing.
+std::vector<double> departure_times(std::span<const double> arrivals,
+                                    std::span<const double> services);
+
+// Simulates an M/M/1 queue (arrival rate lambda < service rate mu) from
+// empty, discards `warmup` customers, and returns the next `count` sojourn
+// times (departure - arrival).
+std::vector<double> equilibrium_sojourns(double lambda, double mu, std::size_t warmup,
+                                         std::size_t count, sim::Rng& rng);
+
+}  // namespace ag::queueing

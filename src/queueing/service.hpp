@@ -1,0 +1,46 @@
+// Service-time distributions for the queue networks.
+//
+// The gossip-to-queues reduction (Theorem 1) models a link as a server whose
+// service time is *geometric* with parameter p (one trial per timeslot); the
+// analysis then replaces it by an *exponential* server with rate mu = p,
+// which is stochastically slower (Lemma 2 of [2]).  Both are provided so the
+// benches can show the replacement is indeed conservative.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace ag::queueing {
+
+enum class ServiceKind : std::uint8_t { Exponential, Geometric };
+
+class ServiceDist {
+ public:
+  static ServiceDist exponential(double rate) {
+    assert(rate > 0);
+    return ServiceDist(ServiceKind::Exponential, rate);
+  }
+  // Geometric(p) counted in timeslots: support {1, 2, ...}, mean 1/p.
+  static ServiceDist geometric(double p) {
+    assert(p > 0 && p <= 1);
+    return ServiceDist(ServiceKind::Geometric, p);
+  }
+
+  ServiceKind kind() const noexcept { return kind_; }
+  double param() const noexcept { return param_; }
+  double mean() const noexcept { return 1.0 / param_; }
+
+  double sample(sim::Rng& rng) const {
+    if (kind_ == ServiceKind::Exponential) return rng.exponential(param_);
+    return static_cast<double>(rng.geometric(param_));
+  }
+
+ private:
+  ServiceDist(ServiceKind k, double p) : kind_(k), param_(p) {}
+  ServiceKind kind_;
+  double param_;
+};
+
+}  // namespace ag::queueing

@@ -1,0 +1,146 @@
+#include "queueing/tree_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+
+namespace ag::queueing {
+
+using graph::kNoParent;
+using graph::NodeId;
+
+TreeQueueNetwork::TreeQueueNetwork(const graph::SpanningTree& tree, ServiceDist service,
+                                   std::vector<std::size_t> initial)
+    : tree_(&tree), service_(service), initial_(std::move(initial)), total_customers_(0) {
+  if (initial_.size() != tree.node_count())
+    throw std::invalid_argument("initial placement size != node count");
+  if (!tree.is_complete()) throw std::invalid_argument("tree is not a complete spanning tree");
+  for (auto c : initial_) total_customers_ += c;
+}
+
+NetworkRun TreeQueueNetwork::run(sim::Rng& rng) const {
+  const std::size_t n = tree_->node_count();
+  std::vector<std::size_t> qlen = initial_;
+  std::vector<char> busy(n, 0);
+
+  using Event = std::pair<double, NodeId>;  // completion time, node
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+
+  auto start_service = [&](NodeId v, double now) {
+    busy[v] = 1;
+    heap.emplace(now + service_.sample(rng), v);
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (qlen[v] > 0) start_service(v, 0.0);
+  }
+
+  NetworkRun out;
+  out.root_departures.reserve(total_customers_);
+  const NodeId root = tree_->root();
+
+  while (!heap.empty() && out.root_departures.size() < total_customers_) {
+    const auto [t, v] = heap.top();
+    heap.pop();
+    assert(qlen[v] > 0);
+    --qlen[v];
+    busy[v] = 0;
+    if (v == root) {
+      out.root_departures.push_back(t);
+    } else {
+      const NodeId p = tree_->parent(v);
+      ++qlen[p];
+      if (!busy[p]) start_service(p, t);
+    }
+    if (qlen[v] > 0) start_service(v, t);
+  }
+  return out;
+}
+
+ScheduledTreeNetwork::ScheduledTreeNetwork(const graph::SpanningTree& tree,
+                                           ServiceDist service,
+                                           std::vector<std::size_t> initial)
+    : tree_(&tree), service_(service), initial_(std::move(initial)), total_customers_(0) {
+  if (initial_.size() != tree.node_count())
+    throw std::invalid_argument("initial placement size != node count");
+  if (!tree.is_complete()) throw std::invalid_argument("tree is not a complete spanning tree");
+  for (auto c : initial_) total_customers_ += c;
+}
+
+NetworkRun ScheduledTreeNetwork::run(sim::Rng& rng) const {
+  const std::size_t n = tree_->node_count();
+  const NodeId root = tree_->root();
+
+  // Depth of every node; level l holds all nodes at depth l.
+  std::vector<std::uint32_t> depth(n, 0);
+  std::uint32_t max_depth = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    depth[v] = tree_->depth_of(v);
+    max_depth = std::max(max_depth, depth[v]);
+  }
+
+  // A customer waiting at some level: ordered by arrival time to the level,
+  // ties broken by customer id (Definition 5: initial residents are served
+  // in id order; their level-arrival time is 0).
+  struct Waiting {
+    double arrival;
+    std::uint64_t id;
+    NodeId node;
+    bool operator>(const Waiting& o) const {
+      return arrival != o.arrival ? arrival > o.arrival : id > o.id;
+    }
+  };
+  std::vector<std::priority_queue<Waiting, std::vector<Waiting>, std::greater<>>> level(
+      max_depth + 1);
+
+  std::uint64_t next_id = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t c = 0; c < initial_[v]; ++c) {
+      level[depth[v]].push(Waiting{0.0, next_id++, v});
+    }
+  }
+
+  // One server per level; an in-service customer is not in the level queue.
+  struct Completion {
+    double time;
+    std::uint32_t lvl;
+    Waiting cust;
+    bool operator>(const Completion& o) const { return time > o.time; }
+  };
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> heap;
+  std::vector<char> busy(max_depth + 1, 0);
+
+  auto start_level = [&](std::uint32_t lvl, double now) {
+    if (busy[lvl] || level[lvl].empty()) return;
+    const Waiting w = level[lvl].top();
+    level[lvl].pop();
+    busy[lvl] = 1;
+    heap.push(Completion{now + service_.sample(rng), lvl, w});
+  };
+
+  for (std::uint32_t l = 0; l <= max_depth; ++l) start_level(l, 0.0);
+
+  NetworkRun out;
+  out.root_departures.reserve(total_customers_);
+
+  while (!heap.empty() && out.root_departures.size() < total_customers_) {
+    const Completion c = heap.top();
+    heap.pop();
+    busy[c.lvl] = 0;
+    if (c.cust.node == root) {
+      out.root_departures.push_back(c.time);
+    } else {
+      const NodeId p = tree_->parent(c.cust.node);
+      const std::uint32_t plvl = depth[p];
+      level[plvl].push(Waiting{c.time, c.cust.id, p});
+      start_level(plvl, c.time);
+    }
+    start_level(c.lvl, c.time);
+  }
+  return out;
+}
+
+}  // namespace ag::queueing

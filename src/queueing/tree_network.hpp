@@ -1,0 +1,66 @@
+// Feedforward queue networks arranged on a rooted tree -- the central object
+// of the paper's analysis (Theorem 2 and Table 4).
+//
+//   TreeQueueNetwork  : Q^tree_n  -- every node an infinite FIFO queue with a
+//     single work-conserving server; customers flow to the parent and leave
+//     the system through the root.
+//   ScheduledTreeNetwork : Q-hat^tree_n (Definition 5) -- identical topology,
+//     but at any moment only ONE server per tree level is ON, namely the one
+//     whose head customer arrived at that level earliest (initial residents
+//     ordered by customer id).
+//
+// run() returns the departure time of every customer from the root; the last
+// entry is the network stopping time t(Q).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/spanning_tree.hpp"
+#include "queueing/service.hpp"
+#include "sim/rng.hpp"
+
+namespace ag::queueing {
+
+struct NetworkRun {
+  std::vector<double> root_departures;  // sorted ascending
+  double stopping_time() const {
+    return root_departures.empty() ? 0.0 : root_departures.back();
+  }
+};
+
+class TreeQueueNetwork {
+ public:
+  // `initial[v]` customers start in node v's queue.  The tree must be
+  // complete (every non-root has a parent chain to the root).
+  TreeQueueNetwork(const graph::SpanningTree& tree, ServiceDist service,
+                   std::vector<std::size_t> initial);
+
+  NetworkRun run(sim::Rng& rng) const;
+
+  std::size_t customer_count() const noexcept { return total_customers_; }
+
+ private:
+  const graph::SpanningTree* tree_;
+  ServiceDist service_;
+  std::vector<std::size_t> initial_;
+  std::size_t total_customers_;
+};
+
+class ScheduledTreeNetwork {
+ public:
+  ScheduledTreeNetwork(const graph::SpanningTree& tree, ServiceDist service,
+                       std::vector<std::size_t> initial);
+
+  NetworkRun run(sim::Rng& rng) const;
+
+  std::size_t customer_count() const noexcept { return total_customers_; }
+
+ private:
+  const graph::SpanningTree* tree_;
+  ServiceDist service_;
+  std::vector<std::size_t> initial_;
+  std::size_t total_customers_;
+};
+
+}  // namespace ag::queueing

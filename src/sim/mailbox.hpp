@@ -1,0 +1,102 @@
+// CRTP mailbox implementing the synchronous-round delivery semantics.
+//
+// In the synchronous model "information received in the current round is
+// available for sending only at the beginning of the next round" (Section 2).
+// We realise that by buffering every send during a round and applying the
+// whole batch at the round barrier: node state observed while building
+// messages is therefore exactly the start-of-round state.  In the
+// asynchronous model messages are applied immediately (one transaction per
+// timeslot, nothing else is concurrent).
+//
+// The optional per-round same-sender filter implements the simplifying
+// assumption in the proof of Theorem 1: "if a node receives 2 messages from
+// the same node at the same round, it will discard the second one".  It is
+// off by default (the real protocol keeps both); turning it on lets the
+// benches measure how conservative the assumption is.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+#include "sim/time_model.hpp"
+
+namespace ag::sim {
+
+using graph::NodeId;
+
+template <typename Derived, typename Msg>
+class Mailbox {
+ public:
+  Mailbox(TimeModel tm, bool discard_same_sender_per_round)
+      : tm_(tm), discard_same_sender_(discard_same_sender_per_round) {}
+
+  TimeModel time_model() const noexcept { return tm_; }
+
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+
+  // Failure injection: every sent message is lost independently with
+  // probability p (lossy links).  RLNC tolerates this gracefully -- a lost
+  // coded packet is statistically interchangeable with the next one -- which
+  // the robustness bench (E10) quantifies.
+  void set_drop_probability(double p, std::uint64_t seed) {
+    drop_probability_ = p;
+    drop_rng_.reseed(seed);
+  }
+
+ protected:
+  void send(NodeId from, NodeId to, Msg msg) {
+    ++messages_sent_;
+    if (drop_probability_ > 0.0 && drop_rng_.bernoulli(drop_probability_)) {
+      ++messages_dropped_;
+      return;
+    }
+    if (tm_ == TimeModel::Synchronous) {
+      inbox_.push_back(Envelope{from, to, std::move(msg)});
+    } else {
+      static_cast<Derived*>(this)->deliver(from, to, std::move(msg));
+    }
+  }
+
+  // Called at the synchronous round barrier; applies buffered messages in
+  // send order.  No-op under the asynchronous model.
+  void flush_inbox() {
+    if (inbox_.empty()) return;
+    if (discard_same_sender_) {
+      seen_pairs_.clear();
+      for (auto& e : inbox_) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(e.from) << 32) | e.to;
+        if (!seen_pairs_.insert(key).second) continue;
+        static_cast<Derived*>(this)->deliver(e.from, e.to, std::move(e.msg));
+      }
+    } else {
+      for (auto& e : inbox_) {
+        static_cast<Derived*>(this)->deliver(e.from, e.to, std::move(e.msg));
+      }
+    }
+    inbox_.clear();
+  }
+
+ private:
+  struct Envelope {
+    NodeId from;
+    NodeId to;
+    Msg msg;
+  };
+
+  TimeModel tm_;
+  bool discard_same_sender_;
+  std::vector<Envelope> inbox_;
+  std::unordered_set<std::uint64_t> seen_pairs_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  double drop_probability_ = 0.0;
+  Rng drop_rng_{0xD60FDA7Aull};  // reseeded by set_drop_probability
+};
+
+}  // namespace ag::sim

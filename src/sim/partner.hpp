@@ -1,0 +1,70 @@
+// Gossip communication models (Definitions 1-2): how an awake node picks its
+// single communication partner.
+//
+//   UniformSelector    : uniform over the node's neighbors (Definition 1).
+//   RoundRobinSelector : fixed cyclic neighbor list with a random initial
+//                        position -- the quasirandom rumor spreading model
+//                        (Definition 2); drives B_RR in Theorem 5.
+//   FixedParentSelector: partner permanently fixed to the node's tree parent
+//                        (TAG Phase 2 / Lemma 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+#include "sim/rng.hpp"
+
+namespace ag::sim {
+
+using graph::NodeId;
+
+class UniformSelector {
+ public:
+  explicit UniformSelector(const graph::Graph& g) : g_(&g) {}
+
+  NodeId pick(NodeId v, Rng& rng) {
+    const auto nbrs = g_->neighbors(v);
+    return nbrs[rng.uniform(nbrs.size())];
+  }
+
+ private:
+  const graph::Graph* g_;
+};
+
+class RoundRobinSelector {
+ public:
+  // Initial positions are drawn once from `rng`; after that the schedule is
+  // deterministic, exactly the quasirandom model.
+  RoundRobinSelector(const graph::Graph& g, Rng& rng) : g_(&g), next_(g.node_count(), 0) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto d = g.degree(v);
+      next_[v] = d == 0 ? 0 : rng.uniform(d);
+    }
+  }
+
+  NodeId pick(NodeId v, Rng& /*rng*/) {
+    const auto nbrs = g_->neighbors(v);
+    const NodeId u = nbrs[next_[v] % nbrs.size()];
+    next_[v] = (next_[v] + 1) % nbrs.size();
+    return u;
+  }
+
+ private:
+  const graph::Graph* g_;
+  std::vector<std::uint64_t> next_;
+};
+
+class FixedParentSelector {
+ public:
+  explicit FixedParentSelector(const graph::SpanningTree& t) : tree_(&t) {}
+
+  // Returns kNoParent for the root; callers must skip the transaction.
+  NodeId pick(NodeId v, Rng& /*rng*/) const { return tree_->parent(v); }
+
+ private:
+  const graph::SpanningTree* tree_;
+};
+
+}  // namespace ag::sim

@@ -1,0 +1,102 @@
+// Deterministic PRNG for all stochastic simulation: xoshiro256** seeded via
+// splitmix64.  Satisfies UniformRandomBitGenerator so it can drive <random>
+// distributions, and adds the small set of samplers the protocols need
+// (unbiased bounded integers, Bernoulli, exponential, geometric).
+//
+// Every experiment takes an explicit seed; a (seed, run-index) pair fully
+// determines a trajectory, which is what makes the stochastic-dominance
+// couplings (Figure 2 / Lemma 3 experiments) and test reproducibility work.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ag::sim {
+
+namespace detail {
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace detail
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9Bull) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = detail::splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Unbiased uniform integer in [0, n) via rejection sampling.
+  std::uint64_t uniform(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t x = operator()();
+    while (x >= limit) x = operator()();
+    return x % n;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  // Exponential with rate `rate` (mean 1/rate).
+  double exponential(double rate) noexcept {
+    double u = uniform01();
+    // Guard against log(0); uniform01 can return exactly 0.
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -std::log(u) / rate;
+  }
+
+  // Geometric on {1, 2, ...}: number of Bernoulli(p) trials until first success.
+  std::uint64_t geometric(double p) noexcept {
+    double u = uniform01();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return 1 + static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+  }
+
+  // Derives an independent stream for run `index` of experiment `seed`.
+  static Rng for_run(std::uint64_t seed, std::uint64_t index) noexcept {
+    std::uint64_t sm = seed;
+    const std::uint64_t a = detail::splitmix64(sm);
+    sm ^= index * 0xA24BAED4963EE407ull + 0x9FB21C651E98DF25ull;
+    const std::uint64_t b = detail::splitmix64(sm);
+    return Rng(a ^ b);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ag::sim

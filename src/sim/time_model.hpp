@@ -1,0 +1,33 @@
+// The two time models of Section 2 and the three gossip actions.
+//
+// Asynchronous: at each timeslot one node, chosen independently and uniformly
+// at random, takes an action; n consecutive timeslots count as one round.
+// Synchronous: at every round every node takes an action; information
+// received in round t is usable for sending only from round t+1.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ag::sim {
+
+enum class TimeModel : std::uint8_t { Synchronous, Asynchronous };
+
+// Message direction of a gossip transaction (Section 1): the initiator
+// pushes to the partner, pulls from the partner, or both.
+enum class Direction : std::uint8_t { Push, Pull, Exchange };
+
+constexpr std::string_view to_string(TimeModel tm) noexcept {
+  return tm == TimeModel::Synchronous ? "sync" : "async";
+}
+
+constexpr std::string_view to_string(Direction d) noexcept {
+  switch (d) {
+    case Direction::Push: return "PUSH";
+    case Direction::Pull: return "PULL";
+    case Direction::Exchange: return "EXCHANGE";
+  }
+  return "?";
+}
+
+}  // namespace ag::sim

@@ -1,0 +1,48 @@
+#include "stats/regression.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace ag::stats {
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  LinearFit f;
+  const auto n = static_cast<double>(xs.size());
+  if (xs.size() < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (f.slope * xs[i] + f.intercept);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+LinearFit loglog_fit(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx, ly;
+  lx.reserve(xs.size());
+  ly.reserve(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    assert(xs[i] > 0.0 && ys[i] > 0.0);
+    lx.push_back(std::log(xs[i]));
+    ly.push_back(std::log(ys[i]));
+  }
+  return linear_fit(lx, ly);
+}
+
+}  // namespace ag::stats

@@ -1,0 +1,24 @@
+// Least-squares fits used to extract empirical scaling exponents.
+//
+// The shape checks in EXPERIMENTS.md are of the form "stopping time grows
+// like n^2 on the barbell" -- i.e. the slope of log(t) vs log(n) should be
+// close to 2.  loglog_slope() computes exactly that.
+#pragma once
+
+#include <span>
+
+namespace ag::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+// Fit of log(y) vs log(x); slope is the empirical power-law exponent.
+// Requires strictly positive data.
+LinearFit loglog_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace ag::stats

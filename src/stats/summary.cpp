@@ -1,0 +1,47 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ag::stats {
+
+namespace {
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted[lo];
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+}  // namespace
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  double ss = 0.0;
+  for (double x : samples) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = sorted_quantile(samples, 0.5);
+  s.q90 = sorted_quantile(samples, 0.9);
+  s.q99 = sorted_quantile(samples, 0.99);
+  return s;
+}
+
+double quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return sorted_quantile(samples, q);
+}
+
+}  // namespace ag::stats

@@ -1,0 +1,30 @@
+// Descriptive statistics over repeated stochastic runs.
+//
+// The paper's claims are "w.h.p." order statements; we summarise R runs per
+// configuration with mean / median / quantiles and report max as the
+// empirical whp proxy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ag::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q90 = 0.0;
+  double q99 = 0.0;
+};
+
+// Computes the summary; `samples` is copied because quantiles need a sort.
+Summary summarize(std::vector<double> samples);
+
+// Empirical quantile (nearest-rank on a sorted copy), q in [0, 1].
+double quantile(std::vector<double> samples, double q);
+
+}  // namespace ag::stats

@@ -1,0 +1,61 @@
+// Unit tests for the closed-form bound helpers (core/bounds.hpp) -- the
+// formulas printed next to measurements in Tables 1 and 2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+
+namespace {
+
+using namespace ag::core;
+
+TEST(AvinBoundTest, FormulaValue) {
+  // (k + log2 n + D) * Delta
+  EXPECT_DOUBLE_EQ(avin_bound(10, 1024, 5, 4), (10 + 10 + 5) * 4.0);
+  EXPECT_DOUBLE_EQ(avin_bound(0, 2, 0, 1), 1.0);
+}
+
+TEST(AvinBoundTest, MonotoneInEveryArgument) {
+  const double base = avin_bound(8, 64, 6, 3);
+  EXPECT_GT(avin_bound(9, 64, 6, 3), base);
+  EXPECT_GT(avin_bound(8, 128, 6, 3), base);
+  EXPECT_GT(avin_bound(8, 64, 7, 3), base);
+  EXPECT_GT(avin_bound(8, 64, 6, 4), base);
+}
+
+TEST(Table2Test, InstantiatedFormsMatchTheTable) {
+  const std::size_t n = 256, k = 16;
+  const double log2n = std::log2(256.0);
+  EXPECT_DOUBLE_EQ(avin_bound_table2(Table2Family::Line, k, n), 16.0 + 256.0);
+  EXPECT_DOUBLE_EQ(avin_bound_table2(Table2Family::Grid, k, n), 16.0 + 16.0);
+  EXPECT_DOUBLE_EQ(avin_bound_table2(Table2Family::BinaryTree, k, n), 16.0 + 8.0);
+  EXPECT_DOUBLE_EQ(haeupler_bound(Table2Family::Line, k, n),
+                   16.0 + 256.0 * log2n * log2n);
+  EXPECT_DOUBLE_EQ(haeupler_bound(Table2Family::Grid, k, n),
+                   16.0 + 16.0 * log2n * log2n);
+  EXPECT_DOUBLE_EQ(haeupler_bound(Table2Family::BinaryTree, k, n),
+                   16.0 + 256.0 * log2n * log2n);
+}
+
+TEST(Table2Test, ImprovementFactorsGrowAsTheTableClaims) {
+  // Line: factor ~ log^2 n -- grows with n.
+  EXPECT_GT(improvement_factor(Table2Family::Line, 64, 4096),
+            improvement_factor(Table2Family::Line, 64, 256));
+  // Binary tree: factor ~ n log n / k -- shrinks with k.
+  EXPECT_GT(improvement_factor(Table2Family::BinaryTree, 8, 1024),
+            improvement_factor(Table2Family::BinaryTree, 64, 1024));
+  // Every factor is > 1 in the regimes of the table.
+  for (const auto fam :
+       {Table2Family::Line, Table2Family::Grid, Table2Family::BinaryTree}) {
+    EXPECT_GT(improvement_factor(fam, 16, 1024), 1.0) << to_string(fam);
+  }
+}
+
+TEST(Table2Test, FamilyNames) {
+  EXPECT_EQ(to_string(Table2Family::Line), "Line");
+  EXPECT_EQ(to_string(Table2Family::Grid), "Grid");
+  EXPECT_EQ(to_string(Table2Family::BinaryTree), "Binary Tree");
+}
+
+}  // namespace

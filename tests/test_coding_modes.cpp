@@ -1,0 +1,167 @@
+// Tests for the coding-rule ablation features (sparse combinations,
+// no-recoding forwarding) and the tree-routing baseline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/fixed_tree_ag.hpp"
+#include "core/tree_routing.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ag;
+using namespace ag::core;
+
+TEST(SparseCombinationTest, StaysInRowSpaceAllDensities) {
+  sim::Rng rng(41);
+  Gf256Decoder d(12, 3);
+  for (std::size_t i : {0u, 2u, 5u, 9u}) d.insert(d.unit_packet(i));
+  for (const double density : {1.0, 0.5, 0.1}) {
+    for (int t = 0; t < 100; ++t) {
+      const auto pkt = d.random_combination(rng, density);
+      ASSERT_TRUE(pkt.has_value());
+      EXPECT_TRUE(d.contains(pkt->coeffs)) << "density " << density;
+    }
+  }
+}
+
+TEST(SparseCombinationTest, DensityControlsSupportSize) {
+  // With density d over r stored unit rows, the expected number of nonzero
+  // coefficients is d * r.
+  sim::Rng rng(42);
+  const std::size_t k = 64;
+  Gf256Decoder d(k, 0);
+  for (std::size_t i = 0; i < k; ++i) d.insert(d.unit_packet(i));
+  for (const double density : {0.25, 0.75}) {
+    double nnz = 0;
+    const int trials = 400;
+    for (int t = 0; t < trials; ++t) {
+      const auto pkt = d.random_combination(rng, density);
+      for (auto c : pkt->coeffs) nnz += c != 0 ? 1 : 0;
+    }
+    EXPECT_NEAR(nnz / trials, density * static_cast<double>(k),
+                0.15 * static_cast<double>(k));
+  }
+}
+
+TEST(SparseCombinationTest, BitDecoderVariant) {
+  sim::Rng rng(43);
+  linalg::BitDecoder d(80, 1);
+  for (std::size_t i = 0; i < 20; ++i) d.insert(d.unit_packet(i * 4));
+  for (int t = 0; t < 100; ++t) {
+    const auto pkt = d.random_combination(rng, 0.3);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_TRUE(d.contains(pkt->coeffs));
+  }
+}
+
+TEST(NoRecodeTest, ForwardsExactStoredRows) {
+  sim::Rng rng(44);
+  Gf256Decoder d(6, 2);
+  const auto p0 = d.unit_packet(0, std::vector<std::uint8_t>{1, 2});
+  const auto p3 = d.unit_packet(3, std::vector<std::uint8_t>{3, 4});
+  d.insert(p0);
+  d.insert(p3);
+  for (int t = 0; t < 50; ++t) {
+    const auto fwd = d.random_stored_row(rng);
+    ASSERT_TRUE(fwd.has_value());
+    const bool is_p0 = fwd->coeffs == p0.coeffs && fwd->payload == p0.payload;
+    const bool is_p3 = fwd->coeffs == p3.coeffs && fwd->payload == p3.payload;
+    EXPECT_TRUE(is_p0 || is_p3);
+  }
+  Gf256Decoder empty(6, 2);
+  EXPECT_FALSE(empty.random_stored_row(rng).has_value());
+}
+
+TEST(NoRecodeTest, UniformAgStillCompletesButSlower) {
+  const auto g = graph::make_grid(4, 5);
+  auto mean_for = [&](bool recode) {
+    const auto rounds = stopping_rounds(
+        [&](sim::Rng& rng) {
+          const auto placement = uniform_distinct(10, 20, rng);
+          AgConfig cfg;
+          cfg.recode = recode;
+          return UniformAG<Gf256Decoder>(g, placement, cfg);
+        },
+        12, recode ? 45 : 46, 1000000);
+    double s = 0;
+    for (double r : rounds) s += r;
+    return s / static_cast<double>(rounds.size());
+  };
+  const double coded = mean_for(true);
+  const double forwarded = mean_for(false);
+  EXPECT_LT(coded, forwarded);  // recoding helps on a multi-hop grid
+}
+
+TEST(TreeRoutingTest, CompletesOnTreesWithoutLoss) {
+  for (const auto& make : {+[] { return graph::make_path(17); },
+                           +[] { return graph::make_binary_tree(15); },
+                           +[] { return graph::make_star(12); }}) {
+    const auto g = make();
+    const auto tree = graph::bfs_tree(g, 0);
+    const std::size_t n = tree.node_count();
+    sim::Rng rng(47);
+    const auto placement = uniform_distinct(n / 2, n, rng);
+    TreeRoutingConfig cfg;
+    TreeRoutingGossip proto(tree, placement, cfg);
+    const auto res = sim::run(proto, rng, 100000);
+    ASSERT_TRUE(res.completed);
+    for (graph::NodeId v = 0; v < n; ++v) EXPECT_EQ(proto.known_count(v), n / 2);
+  }
+}
+
+TEST(TreeRoutingTest, PipelinesLikeCodedGossipOnPath) {
+  // Same order: both O(k + depth) on a path with all blocks at the far end.
+  const auto g = graph::make_path(21);
+  const auto tree = graph::bfs_tree(g, 0);
+  const std::size_t k = 30;
+  sim::Rng rng(48);
+  TreeRoutingConfig rcfg;
+  TreeRoutingGossip routing(tree, single_source(k, 20), rcfg);
+  const auto rres = sim::run(routing, rng, 100000);
+  ASSERT_TRUE(rres.completed);
+
+  AgConfig acfg;
+  FixedTreeAG<Gf2Decoder> coded(tree, single_source(k, 20), acfg);
+  const auto cres = sim::run(coded, rng, 100000);
+  ASSERT_TRUE(cres.completed);
+
+  // Both linear in k + depth; neither should be an order slower.
+  EXPECT_LT(rres.rounds, 8 * (k + 20));
+  EXPECT_LT(cres.rounds, 8 * (k + 20));
+}
+
+TEST(TreeRoutingTest, LossIsFatalForRouting) {
+  const auto g = graph::make_path(17);
+  const auto tree = graph::bfs_tree(g, 0);
+  sim::Rng rng(49);
+  TreeRoutingConfig cfg;
+  cfg.drop_probability = 0.3;
+  TreeRoutingGossip proto(tree, single_source(16, 16), cfg);
+  const auto res = sim::run(proto, rng, 50000);
+  // With 16 hops and 30% loss, some block is dropped on some edge almost
+  // surely, and there is no retransmission: the run must not complete.
+  EXPECT_FALSE(res.completed);
+}
+
+TEST(TreeRoutingTest, NoDuplicateDeliveries) {
+  // Every block crosses every edge at most once per direction: total
+  // messages <= 2 * k * (n - 1).
+  const auto g = graph::make_binary_tree(15);
+  const auto tree = graph::bfs_tree(g, 0);
+  const std::size_t k = 10;
+  sim::Rng rng(50);
+  TreeRoutingConfig cfg;
+  TreeRoutingGossip proto(tree, uniform_distinct(k, 15, rng), cfg);
+  sim::run(proto, rng, 100000);
+  EXPECT_LE(proto.messages_sent(), 2 * k * 14);
+}
+
+}  // namespace

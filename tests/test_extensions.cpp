@@ -1,0 +1,181 @@
+// Tests for the extension features: wire-size accounting (Section 2's
+// message-length formula and Section 6's bandwidth argument), the traced run
+// observer, message counters, TAG tree stability, and an extra queueing law
+// (Burke's theorem) that the Jackson-line argument implicitly rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/stp_policies.hpp"
+#include "core/stp_protocol.hpp"
+#include "core/tag.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/generators.hpp"
+#include "queueing/mm1.hpp"
+#include "sim/engine.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace ag;
+using namespace ag::core;
+
+TEST(WireBitsTest, PacketSizeFormulaMatchesSection2) {
+  // (k + r) log2 q bits per message.
+  EXPECT_DOUBLE_EQ(Gf256Decoder::packet_bits(10, 6), (10 + 6) * 8.0);
+  EXPECT_DOUBLE_EQ(Gf16Decoder::packet_bits(10, 6), (10 + 6) * 4.0);
+  EXPECT_DOUBLE_EQ(Gf65536Decoder::packet_bits(3, 1), 4 * 16.0);
+  // Bit-packed GF(2): k coefficient bits + 64 per payload word.
+  EXPECT_DOUBLE_EQ(Gf2Decoder::packet_bits(100, 2), 100 + 128.0);
+}
+
+TEST(WireBitsTest, UniformAgAccountingMatchesMessageCount) {
+  const auto g = graph::make_cycle(12);
+  sim::Rng rng(5);
+  AgConfig cfg;
+  cfg.payload_len = 4;
+  UniformAG<Gf256Decoder> proto(g, all_to_all(12), cfg);
+  sim::run(proto, rng, 100000);
+  EXPECT_DOUBLE_EQ(proto.wire_bits(),
+                   static_cast<double>(proto.messages_sent()) * (12 + 4) * 8.0);
+  EXPECT_GT(proto.messages_sent(), 0u);
+}
+
+TEST(WireBitsTest, TagSplitsPhase1AndPhase2Traffic) {
+  const auto g = graph::make_barbell(16);
+  sim::Rng rng(6);
+  AgConfig cfg;
+  cfg.payload_len = 2;
+  IsStpConfig stp;
+  Tag<Gf256Decoder, IsStpPolicy> proto(g, all_to_all(16), cfg, stp, rng);
+  sim::run(proto, rng, 100000);
+  EXPECT_GT(proto.stp_messages(), 0u);
+  EXPECT_GT(proto.ag_messages(), 0u);
+  EXPECT_EQ(proto.stp_messages() + proto.ag_messages(), proto.messages_sent());
+  const double expect = static_cast<double>(proto.stp_messages()) * 16.0 +
+                        static_cast<double>(proto.ag_messages()) * (16 + 2) * 8.0;
+  EXPECT_DOUBLE_EQ(proto.wire_bits(), expect);
+}
+
+TEST(WireBitsTest, PolicyMessageSizes) {
+  const auto g = graph::make_complete(20);
+  sim::Rng rng(7);
+  BroadcastStpConfig bcfg;
+  BroadcastStpPolicy b(g, bcfg, rng);
+  EXPECT_DOUBLE_EQ(b.message_bits(), std::ceil(std::log2(20.0)));
+  IsStpConfig icfg;
+  IsStpPolicy i(g, icfg, rng);
+  EXPECT_DOUBLE_EQ(i.message_bits(), 20.0);  // the full n-bit string
+}
+
+TEST(TracedRunTest, ObserverSeesEveryRoundAndFinalState) {
+  const auto g = graph::make_grid(3, 4);
+  sim::Rng rng(8);
+  AgConfig cfg;
+  UniformAG<Gf2Decoder> proto(g, all_to_all(12), cfg);
+  std::vector<std::uint64_t> observed;
+  const auto res = sim::run_traced(proto, rng, 100000,
+                                   [&](std::uint64_t r) { observed.push_back(r); });
+  ASSERT_TRUE(res.completed);
+  ASSERT_EQ(observed.size(), res.rounds);
+  for (std::size_t i = 0; i < observed.size(); ++i) EXPECT_EQ(observed[i], i + 1);
+}
+
+TEST(TracedRunTest, MinRankSeriesIsMonotone) {
+  const auto g = graph::make_barbell(16);
+  sim::Rng rng(9);
+  AgConfig cfg;
+  UniformAG<Gf2Decoder> proto(g, all_to_all(16), cfg);
+  std::size_t prev = 0;
+  bool monotone = true;
+  sim::run_traced(proto, rng, 100000, [&](std::uint64_t) {
+    std::size_t lo = 16;
+    for (graph::NodeId v = 0; v < 16; ++v) {
+      lo = std::min(lo, proto.swarm().node(v).rank());
+    }
+    monotone = monotone && lo >= prev;
+    prev = lo;
+  });
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(prev, 16u);
+}
+
+TEST(TracedRunTest, AsyncObserverFiresOncePerNSlots) {
+  const auto g = graph::make_cycle(8);
+  sim::Rng rng(10);
+  AgConfig cfg;
+  cfg.time_model = sim::TimeModel::Asynchronous;
+  UniformAG<Gf2Decoder> proto(g, all_to_all(8), cfg);
+  std::uint64_t calls = 0;
+  const auto res = sim::run_traced(proto, rng, 100000,
+                                   [&](std::uint64_t) { ++calls; });
+  ASSERT_TRUE(res.completed);
+  // One observation per full n-slot round; the final partial round may not
+  // be observed.
+  EXPECT_LE(calls, res.rounds);
+  EXPECT_GE(calls + 1, res.rounds);
+}
+
+TEST(TagStabilityTest, ParentNeverChangesOnceSet) {
+  // The STP contract: a node adopts exactly one parent, permanently.  Run
+  // TAG with a traced observer snapshotting the parent array every round.
+  const auto g = graph::make_erdos_renyi(24, 0.2, 11);
+  sim::Rng rng(11);
+  AgConfig cfg;
+  BroadcastStpConfig stp;
+  Tag<Gf2Decoder, BroadcastStpPolicy> proto(g, all_to_all(24), cfg, stp, rng);
+  std::vector<graph::NodeId> seen(24, graph::kNoParent);
+  bool stable = true;
+  sim::run_traced(proto, rng, 100000, [&](std::uint64_t) {
+    for (graph::NodeId v = 0; v < 24; ++v) {
+      const graph::NodeId p =
+          proto.policy().has_parent(v) ? proto.policy().parent(v) : graph::kNoParent;
+      if (seen[v] != graph::kNoParent && p != seen[v]) stable = false;
+      if (p != graph::kNoParent) seen[v] = p;
+    }
+  });
+  EXPECT_TRUE(stable);
+}
+
+TEST(BurkeTheoremTest, Mm1DeparturesArePoissonInEquilibrium) {
+  // Burke's theorem: the departure process of a stationary M/M/1 queue is
+  // Poisson(lambda).  The Jackson-line argument (Lemma 7) needs exactly this
+  // to treat the queues as independent M/M/1 in series.  Check that
+  // post-warmup inter-departure times have mean and stddev 1/lambda.
+  sim::Rng rng(12);
+  const double lambda = 0.5, mu = 1.0;
+  const std::size_t warmup = 20000, count = 100000;
+  std::vector<double> arrivals(warmup + count), services(warmup + count);
+  double t = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    t += rng.exponential(lambda);
+    arrivals[i] = t;
+    services[i] = rng.exponential(mu);
+  }
+  const auto dep = ag::queueing::departure_times(arrivals, services);
+  std::vector<double> gaps;
+  gaps.reserve(count);
+  for (std::size_t i = warmup + 1; i < dep.size(); ++i) {
+    gaps.push_back(dep[i] - dep[i - 1]);
+  }
+  const auto s = stats::summarize(gaps);
+  EXPECT_NEAR(s.mean, 1.0 / lambda, 0.05);
+  EXPECT_NEAR(s.stddev, 1.0 / lambda, 0.05);  // exponential: sd == mean
+}
+
+TEST(MessageDropTest, DropsAreCountedAndReduceDeliveries) {
+  const auto g = graph::make_complete(10);
+  sim::Rng rng(13);
+  AgConfig cfg;
+  cfg.drop_probability = 0.4;
+  UniformAG<Gf2Decoder> proto(g, all_to_all(10), cfg);
+  sim::run(proto, rng, 100000);
+  const double rate = static_cast<double>(proto.messages_dropped()) /
+                      static_cast<double>(proto.messages_sent());
+  EXPECT_NEAR(rate, 0.4, 0.08);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Parameterized generator sweeps: every family must produce a connected
+// simple graph with the documented node/edge/degree invariants at every size
+// in its sweep.  TEST_P keeps each (family, n) cell an individually named
+// test.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace ag::graph;
+
+using Param = std::tuple<std::string, std::size_t>;
+
+struct Expect {
+  std::size_t nodes;
+  std::size_t edges;
+  std::size_t max_deg;
+};
+
+Graph build(const std::string& fam, std::size_t n, Expect& e) {
+  if (fam == "path") {
+    e = {n, n - 1, 2};
+    return make_path(n);
+  }
+  if (fam == "cycle") {
+    e = {n, n, 2};
+    return make_cycle(n);
+  }
+  if (fam == "complete") {
+    e = {n, n * (n - 1) / 2, n - 1};
+    return make_complete(n);
+  }
+  if (fam == "grid") {
+    const std::size_t r = 4, c = n / 4;
+    e = {r * c, r * (c - 1) + c * (r - 1), 4};
+    return make_grid(r, c);
+  }
+  if (fam == "torus") {
+    const std::size_t r = 4, c = n / 4;
+    e = {r * c, 2 * r * c, 4};
+    return make_torus(r, c);
+  }
+  if (fam == "bintree") {
+    e = {n, n - 1, 3};
+    return make_binary_tree(n);
+  }
+  if (fam == "star") {
+    e = {n, n - 1, n - 1};
+    return make_star(n);
+  }
+  if (fam == "barbell") {
+    const std::size_t l = n / 2, r = n - l;
+    e = {n, l * (l - 1) / 2 + r * (r - 1) / 2 + 1, std::max(l, r)};
+    return make_barbell(n);
+  }
+  if (fam == "lollipop") {
+    const std::size_t c = n / 2;
+    e = {n, c * (c - 1) / 2 + (n - c), c};
+    return make_lollipop(n, c);
+  }
+  if (fam == "clique_chain") {
+    // Bridges attach to the last node of one clique and the first of the
+    // next, so the busiest node has (cs - 1) clique edges + 1 bridge = cs.
+    const std::size_t cs = n / 4;
+    e = {4 * cs, 4 * cs * (cs - 1) / 2 + 3, cs};
+    return make_clique_chain(4, cs);
+  }
+  if (fam == "random_regular") {
+    e = {n, n * 4 / 2, 4};
+    return make_random_regular(n, 4, 17);
+  }
+  if (fam == "ring_chords") {
+    e = {n, n + n / 4, 0 /*unchecked*/};
+    return make_ring_with_chords(n, n / 4, 19);
+  }
+  // erdos_renyi: no exact counts.
+  e = {n, 0, 0};
+  return make_erdos_renyi(n, 0.25, 23);
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(GeneratorSweep, InvariantsHold) {
+  const auto& [fam, n] = GetParam();
+  Expect e{};
+  const Graph g = build(fam, n, e);
+
+  EXPECT_EQ(g.node_count(), e.nodes == 0 ? g.node_count() : e.nodes);
+  if (e.edges != 0) EXPECT_EQ(g.edge_count(), e.edges) << fam;
+  if (e.max_deg != 0) EXPECT_EQ(g.max_degree(), e.max_deg) << fam;
+  EXPECT_TRUE(is_connected(g)) << fam;
+
+  // Simplicity: adjacency lists contain no self-loops or duplicates.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::set<NodeId> seen;
+    for (NodeId u : g.neighbors(v)) {
+      EXPECT_NE(u, v);
+      EXPECT_TRUE(seen.insert(u).second) << "duplicate edge at " << v;
+    }
+  }
+
+  // Handshake lemma.
+  std::size_t deg_sum = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) deg_sum += g.degree(v);
+  EXPECT_EQ(deg_sum, 2 * g.edge_count());
+
+  // Symmetry: u in N(v) iff v in N(u).
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (NodeId u : g.neighbors(v)) EXPECT_TRUE(g.has_edge(u, v));
+  }
+}
+
+std::string cell_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::get<0>(info.param) + "_n" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GeneratorSweep,
+    ::testing::Combine(::testing::Values("path", "cycle", "complete", "grid", "torus",
+                                         "bintree", "star", "barbell", "lollipop",
+                                         "clique_chain", "random_regular",
+                                         "ring_chords", "er"),
+                       ::testing::Values(16u, 32u, 64u)),
+    cell_name);
+
+}  // namespace

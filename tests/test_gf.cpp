@@ -1,0 +1,168 @@
+// Finite-field unit + property tests: full field axioms over every element
+// of GF(16)/GF(256), sampled axioms for GF(2^16), and bulk-op consistency.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/bulk_ops.hpp"
+#include "gf/field_concept.hpp"
+#include "gf/gf2.hpp"
+#include "gf/gf2m.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using ag::gf::GF16;
+using ag::gf::GF2;
+using ag::gf::GF256;
+using ag::gf::GF65536;
+
+static_assert(ag::gf::GaloisField<GF2>);
+static_assert(ag::gf::GaloisField<GF16>);
+static_assert(ag::gf::GaloisField<GF256>);
+static_assert(ag::gf::GaloisField<GF65536>);
+
+template <typename F>
+class SmallFieldTest : public ::testing::Test {};
+
+using SmallFields = ::testing::Types<GF2, GF16, GF256>;
+TYPED_TEST_SUITE(SmallFieldTest, SmallFields);
+
+TYPED_TEST(SmallFieldTest, AdditionIsXorAndCommutative) {
+  using F = TypeParam;
+  for (std::uint32_t a = 0; a < F::order; ++a) {
+    for (std::uint32_t b = 0; b < F::order; ++b) {
+      const auto va = static_cast<typename F::value_type>(a);
+      const auto vb = static_cast<typename F::value_type>(b);
+      EXPECT_EQ(F::add(va, vb), F::add(vb, va));
+      EXPECT_EQ(F::add(va, vb), static_cast<typename F::value_type>(a ^ b));
+      EXPECT_EQ(F::sub(va, vb), F::add(va, vb));  // characteristic 2
+    }
+  }
+}
+
+TYPED_TEST(SmallFieldTest, MultiplicationCommutativeWithIdentityAndZero) {
+  using F = TypeParam;
+  for (std::uint32_t a = 0; a < F::order; ++a) {
+    const auto va = static_cast<typename F::value_type>(a);
+    EXPECT_EQ(F::mul(va, F::one), va);
+    EXPECT_EQ(F::mul(F::one, va), va);
+    EXPECT_EQ(F::mul(va, F::zero), F::zero);
+    for (std::uint32_t b = 0; b < F::order; ++b) {
+      const auto vb = static_cast<typename F::value_type>(b);
+      EXPECT_EQ(F::mul(va, vb), F::mul(vb, va));
+    }
+  }
+}
+
+TYPED_TEST(SmallFieldTest, EveryNonzeroElementHasAMultiplicativeInverse) {
+  using F = TypeParam;
+  for (std::uint32_t a = 1; a < F::order; ++a) {
+    const auto va = static_cast<typename F::value_type>(a);
+    const auto ia = F::inv(va);
+    EXPECT_EQ(F::mul(va, ia), F::one) << "a=" << a;
+    EXPECT_EQ(F::div(va, va), F::one);
+    EXPECT_EQ(F::div(F::one, va), ia);
+  }
+}
+
+TYPED_TEST(SmallFieldTest, MultiplicationAssociativeOnSample) {
+  using F = TypeParam;
+  ag::sim::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<typename F::value_type>(rng.uniform(F::order));
+    const auto b = static_cast<typename F::value_type>(rng.uniform(F::order));
+    const auto c = static_cast<typename F::value_type>(rng.uniform(F::order));
+    EXPECT_EQ(F::mul(F::mul(a, b), c), F::mul(a, F::mul(b, c)));
+  }
+}
+
+TYPED_TEST(SmallFieldTest, DistributivityOnSample) {
+  using F = TypeParam;
+  ag::sim::Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<typename F::value_type>(rng.uniform(F::order));
+    const auto b = static_cast<typename F::value_type>(rng.uniform(F::order));
+    const auto c = static_cast<typename F::value_type>(rng.uniform(F::order));
+    EXPECT_EQ(F::mul(a, F::add(b, c)), F::add(F::mul(a, b), F::mul(a, c)));
+  }
+}
+
+TEST(GF256Test, KnownMultiplications) {
+  // Spot values for the 0x11D polynomial: x^8 = x^4 + x^3 + x^2 + 1 = 0x1D.
+  EXPECT_EQ(GF256::mul(0x02, 0x80), 0x1D);
+  EXPECT_EQ(GF256::mul(0x02, 0x02), 0x04);
+  EXPECT_EQ(GF256::pow_generator(0), 1);
+  EXPECT_EQ(GF256::pow_generator(1), 2);
+  EXPECT_EQ(GF256::pow_generator(255), 1);  // order of the multiplicative group
+}
+
+TEST(GF256Test, GeneratorHitsEveryNonzeroElementExactlyOnce) {
+  std::vector<int> seen(256, 0);
+  for (std::uint32_t e = 0; e < 255; ++e) seen[GF256::pow_generator(e)]++;
+  EXPECT_EQ(seen[0], 0);
+  for (std::uint32_t a = 1; a < 256; ++a) EXPECT_EQ(seen[a], 1) << "a=" << a;
+}
+
+TEST(GF65536Test, SampledFieldAxioms) {
+  ag::sim::Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rng.uniform(65536));
+    const auto b = static_cast<std::uint16_t>(rng.uniform(65536));
+    EXPECT_EQ(GF65536::mul(a, b), GF65536::mul(b, a));
+    if (a != 0) {
+      EXPECT_EQ(GF65536::mul(a, GF65536::inv(a)), GF65536::one);
+      if (b != 0) {
+        EXPECT_EQ(GF65536::mul(GF65536::div(a, b), b), a);
+      }
+    }
+  }
+}
+
+TEST(GF65536Test, GeneratorOrderIsFull) {
+  // x must have multiplicative order 2^16 - 1 (primitive polynomial).
+  EXPECT_EQ(GF65536::pow_generator(65535), 1);
+  // If the polynomial were not primitive, some proper divisor d of 65535
+  // would already give x^d = 1.  65535 = 3 * 5 * 17 * 257.
+  for (std::uint32_t d : {21845u, 13107u, 3855u, 255u}) {
+    EXPECT_NE(GF65536::pow_generator(d), 1) << "x^" << d << " == 1";
+  }
+}
+
+TEST(BulkOpsTest, AxpyMatchesScalarLoop) {
+  ag::sim::Rng rng(3);
+  std::vector<std::uint8_t> dst(257), src(257), expect(257);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::uint8_t>(rng.uniform(256));
+    src[i] = static_cast<std::uint8_t>(rng.uniform(256));
+  }
+  for (std::uint32_t c : {0u, 1u, 2u, 17u, 255u}) {
+    auto d1 = dst;
+    auto d2 = dst;
+    for (std::size_t i = 0; i < dst.size(); ++i)
+      expect[i] = GF256::add(dst[i], GF256::mul(static_cast<std::uint8_t>(c), src[i]));
+    ag::gf::axpy<GF256>(d1, src, static_cast<std::uint8_t>(c));
+    ag::gf::axpy_gf256(d2, src, static_cast<std::uint8_t>(c));
+    EXPECT_EQ(d1, expect) << "c=" << c;
+    EXPECT_EQ(d2, expect) << "c=" << c;
+  }
+}
+
+TEST(BulkOpsTest, ScaleMatchesScalarLoop) {
+  ag::sim::Rng rng(4);
+  std::vector<std::uint8_t> v(100);
+  for (auto& x : v) x = static_cast<std::uint8_t>(rng.uniform(256));
+  auto got = v;
+  ag::gf::scale<GF256>(got, std::uint8_t{19});
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(got[i], GF256::mul(std::uint8_t{19}, v[i]));
+}
+
+TEST(BulkOpsTest, XorWords) {
+  std::vector<std::uint64_t> a{1, 2, 3}, b{0xFF, 0xFF, 0xFF};
+  ag::gf::xor_words(a, b);
+  EXPECT_EQ(a, (std::vector<std::uint64_t>{0xFE, 0xFD, 0xFC}));
+}
+
+}  // namespace

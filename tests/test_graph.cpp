@@ -1,0 +1,223 @@
+// Graph substrate tests: generator invariants (sizes, degrees, connectivity,
+// known diameters), BFS/shortest-path correctness, and spanning-tree checks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace {
+
+using namespace ag::graph;
+
+TEST(GraphTest, AddEdgeRejectsLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate (other direction)
+  EXPECT_FALSE(g.add_edge(2, 2));  // loop
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GeneratorTest, PathProperties) {
+  const auto g = make_path(10);
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 9u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 9u);
+}
+
+TEST(GeneratorTest, CycleProperties) {
+  const auto g = make_cycle(11);
+  EXPECT_EQ(g.edge_count(), 11u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.min_degree(), 2u);
+  EXPECT_EQ(diameter(g), 5u);
+}
+
+TEST(GeneratorTest, CompleteProperties) {
+  const auto g = make_complete(8);
+  EXPECT_EQ(g.edge_count(), 28u);
+  EXPECT_EQ(g.max_degree(), 7u);
+  EXPECT_EQ(diameter(g), 1u);
+}
+
+TEST(GeneratorTest, GridProperties) {
+  const auto g = make_grid(4, 6);
+  EXPECT_EQ(g.node_count(), 24u);
+  EXPECT_EQ(g.edge_count(), 4u * 5u + 6u * 3u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(diameter(g), 4u + 6u - 2u);
+}
+
+TEST(GeneratorTest, TorusIsFourRegular) {
+  const auto g = make_torus(4, 5);
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GeneratorTest, BinaryTreeProperties) {
+  const auto g = make_binary_tree(15);  // perfect tree of depth 3
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(diameter(g), 6u);  // leaf -> root -> leaf
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GeneratorTest, StarProperties) {
+  const auto g = make_star(9);
+  EXPECT_EQ(g.max_degree(), 8u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(GeneratorTest, HypercubeProperties) {
+  const auto g = make_hypercube(4);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(GeneratorTest, BarbellProperties) {
+  const auto g = make_barbell(20);
+  EXPECT_EQ(g.node_count(), 20u);
+  // Two 10-cliques plus the bridge.
+  EXPECT_EQ(g.edge_count(), 2u * 45u + 1u);
+  EXPECT_EQ(g.max_degree(), 10u);  // bridge endpoints
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 3u);  // clique hop, bridge, clique hop
+  EXPECT_TRUE(g.has_edge(9, 10));
+}
+
+TEST(GeneratorTest, BarbellOddSplitsStayConnected) {
+  const auto g = make_barbell(7);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.node_count(), 7u);
+}
+
+TEST(GeneratorTest, CliqueChainProperties) {
+  const auto g = make_clique_chain(4, 6);
+  EXPECT_EQ(g.node_count(), 24u);
+  EXPECT_EQ(g.edge_count(), 4u * 15u + 3u);
+  EXPECT_TRUE(is_connected(g));
+  // Diameter: hop to the first bridge, then (bridge, within-clique hop) per
+  // junction, ending with a hop off the last bridge: 2 * cliques - 1.
+  EXPECT_EQ(diameter(g), 7u);
+}
+
+TEST(GeneratorTest, LollipopProperties) {
+  const auto g = make_lollipop(15, 10);
+  EXPECT_EQ(g.edge_count(), 45u + 5u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 6u);  // across clique (1) + path (5)
+}
+
+TEST(GeneratorTest, ErdosRenyiIsConnected) {
+  const auto g = make_erdos_renyi(60, 0.15, 42);
+  EXPECT_EQ(g.node_count(), 60u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GeneratorTest, ErdosRenyiThrowsWhenHopeless) {
+  EXPECT_THROW(make_erdos_renyi(50, 0.0, 1), std::invalid_argument);
+}
+
+TEST(GeneratorTest, RandomRegularIsRegularAndConnected) {
+  const auto g = make_random_regular(40, 4, 7);
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GeneratorTest, RandomRegularRejectsBadParameters) {
+  EXPECT_THROW(make_random_regular(5, 3, 1), std::invalid_argument);  // n*d odd
+  EXPECT_THROW(make_random_regular(4, 4, 1), std::invalid_argument);  // d >= n
+}
+
+TEST(GeneratorTest, RingWithChordsKeepsCycleEdges) {
+  const auto g = make_ring_with_chords(30, 10, 3);
+  EXPECT_EQ(g.edge_count(), 40u);
+  EXPECT_TRUE(is_connected(g));
+  for (NodeId i = 0; i < 30; ++i) EXPECT_TRUE(g.has_edge(i, (i + 1) % 30));
+}
+
+TEST(BfsTest, DistancesOnPathAndGrid) {
+  const auto p = make_path(6);
+  const auto d = bfs_distances(p, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+
+  const auto g = make_grid(3, 3);
+  const auto dg = bfs_distances(g, 0);
+  EXPECT_EQ(dg[8], 4u);  // opposite corner: manhattan distance
+}
+
+TEST(BfsTest, BfsTreeIsValidShortestPathTree) {
+  const auto g = make_barbell(16);
+  for (NodeId src : {NodeId{0}, NodeId{7}, NodeId{8}, NodeId{15}}) {
+    const auto t = bfs_tree(g, src);
+    EXPECT_TRUE(t.is_complete());
+    EXPECT_TRUE(t.is_subgraph_of(g));
+    const auto dist = bfs_distances(g, src);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(t.depth_of(v), dist[v]) << "v=" << v;
+    }
+    // BFS tree depth <= diameter (proof of Theorem 1 uses l_max <= D).
+    EXPECT_LE(t.depth(), diameter(g));
+  }
+}
+
+TEST(ShortestPathTest, EndpointsAndLength) {
+  const auto g = make_grid(4, 4);
+  const auto path = shortest_path(g, 0, 15);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 15u);
+  EXPECT_EQ(path.size(), bfs_distances(g, 0)[15] + 1);
+  // Consecutive path nodes are adjacent.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(SpanningTreeTest, ManualTreeProperties) {
+  SpanningTree t(5);
+  t.set_root(0);
+  t.set_parent(1, 0);
+  t.set_parent(2, 0);
+  t.set_parent(3, 1);
+  t.set_parent(4, 3);
+  EXPECT_TRUE(t.is_complete());
+  EXPECT_EQ(t.depth(), 3u);
+  EXPECT_EQ(t.depth_of(4), 3u);
+  EXPECT_EQ(t.tree_diameter(), 4u);  // 4-3-1-0-2
+  const auto ch = t.children();
+  EXPECT_EQ(ch[0].size(), 2u);
+  EXPECT_EQ(ch[3].size(), 1u);
+}
+
+TEST(SpanningTreeTest, IncompleteTreeDetected) {
+  SpanningTree t(4);
+  t.set_root(0);
+  t.set_parent(1, 0);
+  // 2 and 3 have no parents.
+  EXPECT_FALSE(t.is_complete());
+}
+
+TEST(SpanningTreeTest, CycleDetected) {
+  SpanningTree t(4);
+  t.set_root(0);
+  t.set_parent(1, 2);
+  t.set_parent(2, 3);
+  t.set_parent(3, 1);  // 1 -> 2 -> 3 -> 1
+  EXPECT_FALSE(t.is_complete());
+}
+
+}  // namespace

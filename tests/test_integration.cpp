@@ -1,0 +1,186 @@
+// Cross-module integration tests: full pipelines from graph generation
+// through protocol execution to decode verification, determinism of whole
+// experiments, agreement of the gossip-to-queue reduction, and bound-formula
+// sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/fixed_tree_ag.hpp"
+#include "core/stp_policies.hpp"
+#include "core/tag.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "queueing/line_network.hpp"
+#include "queueing/tree_network.hpp"
+#include "sim/engine.hpp"
+#include "stats/regression.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace ag;
+using namespace ag::core;
+
+TEST(IntegrationTest, WholeExperimentIsDeterministicGivenSeed) {
+  const auto g = graph::make_barbell(20);
+  auto run_once = [&](std::uint64_t seed) {
+    return stopping_rounds(
+        [&](sim::Rng& rng) {
+          const auto placement = uniform_distinct(8, 20, rng);
+          AgConfig cfg;
+          return UniformAG<Gf256Decoder>(g, placement, cfg);
+        },
+        5, seed, 1000000);
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+TEST(IntegrationTest, SameSeedSameResultAcrossProtocolFamilies) {
+  const auto g = graph::make_grid(4, 5);
+  sim::Rng rng1 = sim::Rng::for_run(9, 0);
+  sim::Rng rng2 = sim::Rng::for_run(9, 0);
+  AgConfig cfg;
+  BroadcastStpConfig stp;
+  Tag<Gf256Decoder, BroadcastStpPolicy> a(g, all_to_all(20), cfg, stp, rng1);
+  Tag<Gf256Decoder, BroadcastStpPolicy> b(g, all_to_all(20), cfg, stp, rng2);
+  const auto ra = sim::run(a, rng1, 100000);
+  const auto rb = sim::run(b, rng2, 100000);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+  EXPECT_EQ(a.tree_complete_round(), b.tree_complete_round());
+}
+
+TEST(IntegrationTest, GossipOnTreeTracksQueueModelPrediction) {
+  // The reduction behind Lemma 1: fixed-parent AG on a path of length L with
+  // all k messages at the far end behaves like the line of queues -- linear
+  // in k + L, nowhere near quadratic.  Compare gossip rounds against the
+  // queue model's predicted mean (both in "expected transmissions" units).
+  const std::size_t L = 16, k = 24;
+  const auto path_graph = graph::make_path(L + 1);
+  const auto tree = graph::bfs_tree(path_graph, 0);
+
+  const auto gossip_rounds = stopping_rounds(
+      [&](sim::Rng&) {
+        AgConfig cfg;
+        return FixedTreeAG<Gf2Decoder>(tree, single_source(k, static_cast<graph::NodeId>(L)),
+                                       cfg);
+      },
+      20, 77, 1000000);
+  const double gossip_mean = stats::summarize(gossip_rounds).mean;
+
+  // Queue model: service rate 1 per round per link (EXCHANGE moves a helpful
+  // packet towards the root each activation with prob >= 1/2 in GF(2)).
+  std::vector<double> queue_t;
+  for (int r = 0; r < 200; ++r) {
+    sim::Rng rng = sim::Rng::for_run(78, r);
+    queue_t.push_back(queueing::run_line(L + 1, queueing::all_at_farthest(L + 1, k),
+                                         queueing::ServiceDist::geometric(0.5), rng)
+                          .stopping_time());
+  }
+  const double queue_mean = stats::summarize(queue_t).mean;
+  // The queue system (worst-case p = 1/2) must be slower than the actual
+  // gossip *toward the root*; all-node completion adds the return traffic,
+  // so allow a factor-2 band around the model.
+  EXPECT_GT(gossip_mean, queue_mean * 0.3);
+  EXPECT_LT(gossip_mean, queue_mean * 6.0);
+}
+
+TEST(IntegrationTest, BoundFormulasMatchTable2Statements) {
+  // Improvement factors of Table 2: log^2 n for the line, log^2 n for the
+  // grid when k = O(sqrt n), Omega(n log n / k) for the binary tree.
+  const std::size_t n = 1024;
+  const double log2n = std::log2(static_cast<double>(n));
+  {
+    const double f = improvement_factor(Table2Family::Line, /*k=*/n, n);
+    EXPECT_NEAR(f, log2n * log2n / 2.0, log2n * log2n);  // same order
+  }
+  {
+    const double f =
+        improvement_factor(Table2Family::Grid, /*k=*/static_cast<std::size_t>(std::sqrt(n)), n);
+    EXPECT_GT(f, log2n * log2n / 4.0);
+  }
+  {
+    const double f = improvement_factor(Table2Family::BinaryTree, /*k=*/16, n);
+    const double expect = static_cast<double>(n) * log2n / 16.0;
+    EXPECT_GT(f, expect / 8.0);
+  }
+  EXPECT_GT(avin_bound(10, 100, 5, 4), 0.0);
+}
+
+TEST(IntegrationTest, AsyncAndSyncAgreeOnOrderOfMagnitude) {
+  // The paper proves the same bound for both models; stopping times in
+  // rounds should be within a small constant factor of each other.
+  const auto g = graph::make_grid(5, 5);
+  auto mean_for = [&](sim::TimeModel tm) {
+    const auto rounds = stopping_rounds(
+        [&](sim::Rng& rng) {
+          const auto placement = uniform_distinct(10, 25, rng);
+          AgConfig cfg;
+          cfg.time_model = tm;
+          return UniformAG<Gf2Decoder>(g, placement, cfg);
+        },
+        15, 91, 1000000);
+    return stats::summarize(rounds).mean;
+  };
+  const double s = mean_for(sim::TimeModel::Synchronous);
+  const double a = mean_for(sim::TimeModel::Asynchronous);
+  EXPECT_LT(s, a * 4.0);
+  EXPECT_LT(a, s * 4.0);
+}
+
+TEST(IntegrationTest, EndToEndPayloadIntegrityThroughTag) {
+  // 16-byte payloads over GF(256) through the full TAG pipeline on an
+  // irregular graph; every byte of every decoded message must match.
+  const auto g = graph::make_erdos_renyi(30, 0.2, 13);
+  sim::Rng rng(14);
+  const auto placement = uniform_distinct(12, 30, rng);
+  AgConfig cfg;
+  cfg.payload_len = 16;
+  IsStpConfig stp;
+  Tag<Gf256Decoder, IsStpPolicy> proto(g, placement, cfg, stp, rng);
+  const auto res = sim::run(proto, rng, 200000);
+  ASSERT_TRUE(res.completed);
+  for (graph::NodeId v = 0; v < 30; ++v) {
+    for (std::size_t i = 0; i < 12; ++i) {
+      ASSERT_TRUE(proto.swarm().decodes_correctly(v, i)) << "v=" << v << " i=" << i;
+    }
+  }
+}
+
+TEST(IntegrationTest, BarbellScalingExponentsDiverge) {
+  // The headline: uniform AG grows ~quadratically on the barbell while TAG
+  // grows ~linearly.  Small sizes, but the exponents separate decisively.
+  std::vector<double> ns, t_ag, t_tag;
+  for (const std::size_t n : {16u, 24u, 32u, 48u}) {
+    const auto g = graph::make_barbell(n);
+    const auto ag_rounds = stopping_rounds(
+        [&](sim::Rng&) {
+          AgConfig cfg;
+          return UniformAG<Gf2Decoder>(g, all_to_all(n), cfg);
+        },
+        6, 101 + n, 1000000);
+    const auto tag_rounds = stopping_rounds(
+        [&](sim::Rng& rng) {
+          AgConfig cfg;
+          BroadcastStpConfig stp;
+          return Tag<Gf2Decoder, BroadcastStpPolicy>(g, all_to_all(n), cfg, stp, rng);
+        },
+        6, 102 + n, 1000000);
+    ns.push_back(static_cast<double>(n));
+    t_ag.push_back(stats::summarize(ag_rounds).mean);
+    t_tag.push_back(stats::summarize(tag_rounds).mean);
+  }
+  const auto fit_ag = stats::loglog_fit(ns, t_ag);
+  const auto fit_tag = stats::loglog_fit(ns, t_tag);
+  EXPECT_GT(fit_ag.slope, 1.5);   // ~2 expected
+  EXPECT_LT(fit_tag.slope, 1.5);  // ~1 expected
+  EXPECT_GT(fit_ag.slope, fit_tag.slope + 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+// Parameterized protocol matrix: every protocol variant must complete and
+// decode on every (graph family x time model x direction) combination, and
+// must respect the universal lower bounds.  TEST_P sweeps the full cross
+// product so a regression in any cell is pinpointed by name.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/stp_policies.hpp"
+#include "core/tag.hpp"
+#include "core/uncoded_gossip.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ag;
+using core::AgConfig;
+
+graph::Graph make_named(const std::string& name) {
+  if (name == "path") return graph::make_path(24);
+  if (name == "cycle") return graph::make_cycle(24);
+  if (name == "complete") return graph::make_complete(16);
+  if (name == "grid") return graph::make_grid(4, 6);
+  if (name == "bintree") return graph::make_binary_tree(31);
+  if (name == "star") return graph::make_star(20);
+  if (name == "barbell") return graph::make_barbell(20);
+  if (name == "hypercube") return graph::make_hypercube(4);
+  if (name == "lollipop") return graph::make_lollipop(20, 10);
+  if (name == "er") return graph::make_erdos_renyi(24, 0.2, 5);
+  return graph::make_cycle(8);
+}
+
+// ---------------------------------------------------------------------------
+// Uniform AG across graph x time model x direction.
+// ---------------------------------------------------------------------------
+
+using AgParam = std::tuple<std::string, sim::TimeModel, sim::Direction>;
+
+class UniformAgMatrix : public ::testing::TestWithParam<AgParam> {};
+
+TEST_P(UniformAgMatrix, CompletesDecodesAndRespectsLowerBounds) {
+  const auto& [gname, tm, dir] = GetParam();
+  const auto g = make_named(gname);
+  const std::size_t n = g.node_count();
+  const std::size_t k = n / 2;
+  sim::Rng rng(1234);
+  const auto placement = core::uniform_distinct(k, n, rng);
+  AgConfig cfg;
+  cfg.time_model = tm;
+  cfg.direction = dir;
+  cfg.payload_len = 3;
+  core::UniformAG<core::Gf256Decoder> proto(g, placement, cfg);
+  const auto res = sim::run(proto, rng, 2000000);
+  ASSERT_TRUE(res.completed);
+  // Universal lower bound (Theorem 3 counting argument): >= k/2 rounds.
+  EXPECT_GE(res.rounds, static_cast<std::uint64_t>(k / 2));
+  for (graph::NodeId v = 0; v < n; ++v) {
+    ASSERT_TRUE(proto.swarm().node(v).full_rank()) << "v=" << v;
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_TRUE(proto.swarm().decodes_correctly(v, i)) << "v=" << v << " i=" << i;
+    }
+  }
+  // No node finished after the recorded stopping round.
+  for (graph::NodeId v = 0; v < n; ++v) {
+    EXPECT_LE(proto.swarm().finish_round(v), res.rounds);
+  }
+}
+
+std::string ag_cell_name(const ::testing::TestParamInfo<AgParam>& info) {
+  const auto& g = std::get<0>(info.param);
+  const auto tm = std::get<1>(info.param);
+  const auto dir = std::get<2>(info.param);
+  return g + "_" + std::string(sim::to_string(tm)) + "_" +
+         std::string(sim::to_string(dir));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, UniformAgMatrix,
+    ::testing::Combine(
+        ::testing::Values("path", "cycle", "complete", "grid", "bintree", "star",
+                          "barbell", "hypercube", "lollipop", "er"),
+        ::testing::Values(sim::TimeModel::Synchronous, sim::TimeModel::Asynchronous),
+        ::testing::Values(sim::Direction::Push, sim::Direction::Pull,
+                          sim::Direction::Exchange)),
+    ag_cell_name);
+
+// ---------------------------------------------------------------------------
+// TAG across graph x time model x STP kind.
+// ---------------------------------------------------------------------------
+
+using TagParam = std::tuple<std::string, sim::TimeModel, std::string>;
+
+class TagMatrix : public ::testing::TestWithParam<TagParam> {};
+
+TEST_P(TagMatrix, CompletesWithValidTreeAndDecodes) {
+  const auto& [gname, tm, stp_kind] = GetParam();
+  const auto g = make_named(gname);
+  const std::size_t n = g.node_count();
+  const std::size_t k = n / 3 + 1;
+  sim::Rng rng(99);
+  const auto placement = core::uniform_distinct(k, n, rng);
+  AgConfig cfg;
+  cfg.time_model = tm;
+  cfg.payload_len = 2;
+
+  auto check = [&](auto& proto) {
+    const auto res = sim::run(proto, rng, 2000000);
+    ASSERT_TRUE(res.completed);
+    EXPECT_TRUE(proto.policy().tree_complete());
+    EXPECT_TRUE(proto.policy().tree().is_complete());
+    EXPECT_TRUE(proto.policy().tree().is_subgraph_of(g));
+    for (graph::NodeId v = 0; v < n; ++v) {
+      for (std::size_t i = 0; i < k; ++i) {
+        ASSERT_TRUE(proto.swarm().decodes_correctly(v, i)) << "v=" << v;
+      }
+    }
+  };
+
+  if (stp_kind == "brr") {
+    core::BroadcastStpConfig stp;
+    stp.comm = core::CommModel::RoundRobin;
+    core::Tag<core::Gf256Decoder, core::BroadcastStpPolicy> proto(g, placement, cfg,
+                                                                  stp, rng);
+    check(proto);
+  } else if (stp_kind == "bunif") {
+    core::BroadcastStpConfig stp;
+    stp.comm = core::CommModel::Uniform;
+    core::Tag<core::Gf256Decoder, core::BroadcastStpPolicy> proto(g, placement, cfg,
+                                                                  stp, rng);
+    check(proto);
+  } else {
+    core::IsStpConfig stp;
+    core::Tag<core::Gf256Decoder, core::IsStpPolicy> proto(g, placement, cfg, stp, rng);
+    check(proto);
+  }
+}
+
+std::string tag_cell_name(const ::testing::TestParamInfo<TagParam>& info) {
+  const auto& g = std::get<0>(info.param);
+  const auto tm = std::get<1>(info.param);
+  const auto& stp = std::get<2>(info.param);
+  return g + "_" + std::string(sim::to_string(tm)) + "_" + stp;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, TagMatrix,
+    ::testing::Combine(
+        ::testing::Values("path", "grid", "barbell", "star", "er", "lollipop"),
+        ::testing::Values(sim::TimeModel::Synchronous, sim::TimeModel::Asynchronous),
+        ::testing::Values("brr", "bunif", "is")),
+    tag_cell_name);
+
+// ---------------------------------------------------------------------------
+// Loss injection sweep: protocols must still complete and decode.
+// ---------------------------------------------------------------------------
+
+class LossMatrix : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossMatrix, UniformAgSurvivesLoss) {
+  const double p = GetParam();
+  const auto g = graph::make_grid(4, 5);
+  sim::Rng rng(7);
+  AgConfig cfg;
+  cfg.payload_len = 2;
+  cfg.drop_probability = p;
+  core::UniformAG<core::Gf256Decoder> proto(g, core::uniform_distinct(8, 20, rng), cfg);
+  const auto res = sim::run(proto, rng, 2000000);
+  ASSERT_TRUE(res.completed) << "p=" << p;
+  for (graph::NodeId v = 0; v < 20; ++v) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(proto.swarm().decodes_correctly(v, i));
+    }
+  }
+  if (p > 0) {
+    EXPECT_GT(proto.messages_dropped(), 0u);
+  }
+}
+
+TEST_P(LossMatrix, TagSurvivesLoss) {
+  const double p = GetParam();
+  const auto g = graph::make_barbell(16);
+  sim::Rng rng(8);
+  AgConfig cfg;
+  cfg.drop_probability = p;
+  core::BroadcastStpConfig stp;
+  core::Tag<core::Gf2Decoder, core::BroadcastStpPolicy> proto(
+      g, core::uniform_distinct(6, 16, rng), cfg, stp, rng);
+  const auto res = sim::run(proto, rng, 2000000);
+  ASSERT_TRUE(res.completed) << "p=" << p;
+}
+
+std::string loss_cell_name(const ::testing::TestParamInfo<double>& info) {
+  return "p" + std::to_string(static_cast<int>(info.param * 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(DropRates, LossMatrix,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.7),
+                         loss_cell_name);
+
+// ---------------------------------------------------------------------------
+// Decoder property sweep over k.
+// ---------------------------------------------------------------------------
+
+class DecoderKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DecoderKSweep, RandomStreamsReachFullRankWithinCouponBudget) {
+  const std::size_t k = GetParam();
+  sim::Rng rng(1000 + k);
+  core::Gf256Decoder src(k, 0), dst(k, 0);
+  for (std::size_t i = 0; i < k; ++i) src.insert(src.unit_packet(i));
+  std::size_t received = 0;
+  while (!dst.full_rank()) {
+    const auto pkt = src.random_combination(rng);
+    ASSERT_TRUE(pkt.has_value());
+    dst.insert(*pkt);
+    ASSERT_LE(++received, 3 * k + 64) << "rank stuck at " << dst.rank();
+  }
+  // Over GF(256), nearly every packet from a full-rank source is helpful:
+  // expect only a tiny overhead above the information-theoretic k.
+  EXPECT_LE(received, k + 8);
+}
+
+TEST_P(DecoderKSweep, BitDecoderOverheadMatchesGf2Theory) {
+  // Over GF(2) the expected overhead to full rank is sum 2^-i ~ 1.6 packets.
+  const std::size_t k = GetParam();
+  sim::Rng rng(2000 + k);
+  ag::linalg::BitDecoder src(k, 0), dst(k, 0);
+  for (std::size_t i = 0; i < k; ++i) src.insert(src.unit_packet(i));
+  std::size_t received = 0;
+  while (!dst.full_rank()) {
+    const auto pkt = src.random_combination(rng);
+    ASSERT_TRUE(pkt.has_value());
+    dst.insert(*pkt);
+    ASSERT_LE(++received, 2 * k + 64);
+  }
+  EXPECT_LE(received, k + 24);
+}
+
+std::string k_cell_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  return "k" + std::to_string(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, DecoderKSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64, 100),
+                         k_cell_name);
+
+}  // namespace

@@ -1,0 +1,282 @@
+// Queueing-substrate tests: the FCFS recurrence, Lemma 3 (later arrivals =>
+// later departures, pathwise under coupling), Lemma 8 (equilibrium sojourn ~
+// Exp(mu - lambda)), conservation in the tree/line networks, the Theorem 2
+// scaling, and the stochastic-dominance chain of Table 4 (in means).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "graph/spanning_tree.hpp"
+#include "queueing/jackson.hpp"
+#include "queueing/line_network.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/service.hpp"
+#include "queueing/tree_network.hpp"
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace ag;
+using namespace ag::queueing;
+
+graph::SpanningTree binary_tree(std::size_t n) {
+  graph::SpanningTree t(n);
+  t.set_root(0);
+  for (graph::NodeId v = 1; v < n; ++v) t.set_parent(v, (v - 1) / 2);
+  return t;
+}
+
+TEST(Mm1Test, DepartureRecurrenceMatchesHandComputation) {
+  // Figure 2's example shape: overlapping and gapped arrivals.
+  const std::vector<double> a{0.0, 1.0, 1.5, 10.0};
+  const std::vector<double> x{2.0, 2.0, 1.0, 0.5};
+  const auto d = departure_times(a, x);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);   // 0 + 2
+  EXPECT_DOUBLE_EQ(d[1], 4.0);   // max(1, 2) + 2
+  EXPECT_DOUBLE_EQ(d[2], 5.0);   // max(1.5, 4) + 1
+  EXPECT_DOUBLE_EQ(d[3], 10.5);  // idle gap, max(10, 5) + 0.5
+}
+
+TEST(Mm1Test, Lemma3LaterArrivalsYieldLaterDeparturesPathwise) {
+  // Couple the two systems on identical service times (the proof's setup)
+  // and check d-hat_i >= d_i for every i -- the pathwise version of the
+  // stochastic claim.
+  sim::Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t m = 50;
+    std::vector<double> a(m), ahat(m), x(m);
+    double t = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      t += rng.exponential(1.0);
+      a[i] = t;
+      x[i] = rng.exponential(1.3);
+    }
+    // ahat: each arrival delayed by a nonnegative amount, order preserved.
+    double prev = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      ahat[i] = std::max(prev, a[i] + rng.exponential(2.0));
+      prev = ahat[i];
+    }
+    const auto d = departure_times(a, x);
+    const auto dhat = departure_times(ahat, x);
+    for (std::size_t i = 0; i < m; ++i) {
+      ASSERT_GE(dhat[i], d[i]) << "trial " << trial << " customer " << i;
+    }
+  }
+}
+
+TEST(Mm1Test, Lemma8EquilibriumSojournIsExponentialWithRateMuMinusLambda) {
+  sim::Rng rng(7);
+  const double lambda = 0.5, mu = 1.0;
+  const auto sj = equilibrium_sojourns(lambda, mu, 20000, 60000, rng);
+  const auto s = stats::summarize(sj);
+  // Mean sojourn = 1 / (mu - lambda) = 2.
+  EXPECT_NEAR(s.mean, 2.0, 0.1);
+  // Exponential: stddev == mean; median = mean * ln 2.
+  EXPECT_NEAR(s.stddev, 2.0, 0.15);
+  EXPECT_NEAR(s.median, 2.0 * std::log(2.0), 0.1);
+}
+
+TEST(TreeNetworkTest, ConservationAllCustomersLeave) {
+  const auto tree = binary_tree(15);
+  std::vector<std::size_t> init(15, 2);  // 30 customers
+  const TreeQueueNetwork net(tree, ServiceDist::exponential(1.0), init);
+  sim::Rng rng(3);
+  const auto run = net.run(rng);
+  EXPECT_EQ(run.root_departures.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(run.root_departures.begin(), run.root_departures.end()));
+  EXPECT_GT(run.stopping_time(), 0.0);
+}
+
+TEST(TreeNetworkTest, SingleQueueMatchesSumOfServices) {
+  // A one-node tree is a single busy server: stopping time = sum of k
+  // service samples; with rate mu its mean is k / mu.
+  graph::SpanningTree t(1);
+  t.set_root(0);
+  const std::size_t k = 200;
+  std::vector<double> samples;
+  sim::Rng rng(5);
+  for (int r = 0; r < 200; ++r) {
+    const TreeQueueNetwork net(t, ServiceDist::exponential(2.0), {k});
+    samples.push_back(net.run(rng).stopping_time());
+  }
+  EXPECT_NEAR(stats::summarize(samples).mean, static_cast<double>(k) / 2.0, 5.0);
+}
+
+TEST(TreeNetworkTest, RejectsBadInputs) {
+  graph::SpanningTree incomplete(3);
+  incomplete.set_root(0);  // nodes 1, 2 unattached
+  EXPECT_THROW(
+      TreeQueueNetwork(incomplete, ServiceDist::exponential(1.0), {1, 1, 1}),
+      std::invalid_argument);
+  const auto tree = binary_tree(3);
+  EXPECT_THROW(TreeQueueNetwork(tree, ServiceDist::exponential(1.0), {1, 1}),
+               std::invalid_argument);
+}
+
+TEST(TreeNetworkTest, GeometricServersAreFasterThanExponentialWithSameMean) {
+  // Lemma 2 of [2]: exponential (rate p) is stochastically slower than
+  // geometric(p).  Check the network stopping-time means reflect that.
+  const auto tree = binary_tree(7);
+  const std::vector<std::size_t> init{0, 2, 2, 1, 1, 1, 1};
+  std::vector<double> geo, expo;
+  for (int r = 0; r < 300; ++r) {
+    sim::Rng rng1 = sim::Rng::for_run(11, r);
+    sim::Rng rng2 = sim::Rng::for_run(12, r);
+    geo.push_back(
+        TreeQueueNetwork(tree, ServiceDist::geometric(0.2), init).run(rng1).stopping_time());
+    expo.push_back(
+        TreeQueueNetwork(tree, ServiceDist::exponential(0.2), init).run(rng2).stopping_time());
+  }
+  EXPECT_LT(stats::summarize(geo).mean, stats::summarize(expo).mean);
+}
+
+TEST(ScheduledTreeTest, OneServerPerLevelIsSlowerThanWorkConserving) {
+  // Lemma 4: t(Qtree) <= t(Qhat-tree) stochastically.  Compare means.
+  const auto tree = binary_tree(15);
+  std::vector<std::size_t> init(15, 1);
+  std::vector<double> plain, scheduled;
+  for (int r = 0; r < 400; ++r) {
+    sim::Rng rng1 = sim::Rng::for_run(21, r);
+    sim::Rng rng2 = sim::Rng::for_run(22, r);
+    plain.push_back(
+        TreeQueueNetwork(tree, ServiceDist::exponential(1.0), init).run(rng1).stopping_time());
+    scheduled.push_back(ScheduledTreeNetwork(tree, ServiceDist::exponential(1.0), init)
+                            .run(rng2)
+                            .stopping_time());
+  }
+  EXPECT_LT(stats::summarize(plain).mean, stats::summarize(scheduled).mean * 1.02);
+}
+
+TEST(ScheduledTreeTest, MatchesLineNetworkInDistribution) {
+  // Lemma 5: Qhat-tree and Qline have the same departure law.  Compare the
+  // stopping-time means of the scheduled tree against the merged-level line.
+  const auto tree = binary_tree(15);
+  std::vector<std::size_t> init(15, 1);
+  const auto line_placement = merge_levels_placement(tree, init);
+  std::vector<double> sched, line;
+  for (int r = 0; r < 600; ++r) {
+    sim::Rng rng1 = sim::Rng::for_run(31, r);
+    sim::Rng rng2 = sim::Rng::for_run(32, r);
+    sched.push_back(ScheduledTreeNetwork(tree, ServiceDist::exponential(1.0), init)
+                        .run(rng1)
+                        .stopping_time());
+    line.push_back(run_line(line_placement.size(), line_placement,
+                            ServiceDist::exponential(1.0), rng2)
+                       .stopping_time());
+  }
+  const double ms = stats::summarize(sched).mean;
+  const double ml = stats::summarize(line).mean;
+  EXPECT_NEAR(ms, ml, 0.08 * std::max(ms, ml));
+}
+
+TEST(LineNetworkTest, PlacementTransforms) {
+  const auto tree = binary_tree(7);  // depths 0,1,1,2,2,2,2
+  const std::vector<std::size_t> init{1, 2, 0, 0, 1, 1, 0};
+  const auto merged = merge_levels_placement(tree, init);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0], 1u);
+  EXPECT_EQ(merged[1], 2u);
+  EXPECT_EQ(merged[2], 2u);
+
+  const auto moved = move_one_back(merged, 1);
+  EXPECT_EQ(moved[1], 1u);
+  EXPECT_EQ(moved[2], 3u);
+  EXPECT_THROW(move_one_back(merged, 2), std::invalid_argument);
+
+  const auto far = all_at_farthest(4, 9);
+  EXPECT_EQ(far, (std::vector<std::size_t>{0, 0, 0, 9}));
+}
+
+TEST(LineNetworkTest, DominanceChainInMeans) {
+  // Lemma 6 + Corollary 1: t(Qline) <= t(Q`line) <= t(Qhat-line), comparing
+  // means over many runs (the theorem is stochastic dominance).
+  const std::size_t L = 6;
+  const std::vector<std::size_t> base{0, 2, 1, 3, 0, 2};  // 8 customers
+  const auto moved = move_one_back(base, 3);
+  const auto farthest = all_at_farthest(L, 8);
+  std::vector<double> t0, t1, t2;
+  for (int r = 0; r < 800; ++r) {
+    sim::Rng a = sim::Rng::for_run(41, r), b = sim::Rng::for_run(42, r),
+             c = sim::Rng::for_run(43, r);
+    t0.push_back(run_line(L, base, ServiceDist::exponential(1.0), a).stopping_time());
+    t1.push_back(run_line(L, moved, ServiceDist::exponential(1.0), b).stopping_time());
+    t2.push_back(run_line(L, farthest, ServiceDist::exponential(1.0), c).stopping_time());
+  }
+  const double m0 = stats::summarize(t0).mean;
+  const double m1 = stats::summarize(t1).mean;
+  const double m2 = stats::summarize(t2).mean;
+  EXPECT_LE(m0, m1 * 1.03);
+  EXPECT_LE(m1, m2 * 1.03);
+}
+
+TEST(Theorem2Test, TreeStoppingTimeScalesLikeKPlusDepthOverMu) {
+  // Theorem 2: t(Qtree) = O((k + lmax + log n)/mu).  Fix the tree, sweep k,
+  // and check near-linear growth with slope about 1/mu x (1/(1-rho))-ish
+  // constant; here we just confirm t grows ~ linearly in k and is within a
+  // small constant of (k + lmax) / mu.
+  const auto tree = binary_tree(31);  // lmax = 4
+  const double mu = 1.0;
+  for (const std::size_t k : {16u, 32u, 64u, 128u}) {
+    std::vector<std::size_t> init(31, 0);
+    init[15] = k;  // a leaf at max depth
+    std::vector<double> t;
+    for (int r = 0; r < 100; ++r) {
+      sim::Rng rng = sim::Rng::for_run(51, static_cast<std::uint64_t>(r) * 1000 + k);
+      t.push_back(TreeQueueNetwork(tree, ServiceDist::exponential(mu), init)
+                      .run(rng)
+                      .stopping_time());
+    }
+    const double mean = stats::summarize(t).mean;
+    const double bound = (static_cast<double>(k) + 4 + std::log2(31.0)) / mu;
+    EXPECT_GT(mean, bound * 0.5);  // not absurdly fast
+    EXPECT_LT(mean, bound * 4.0);  // within the O() constant
+  }
+}
+
+TEST(JacksonTest, StoppingTimeNearLemma7Expectation) {
+  // E[t1] = 2k/mu; the k-th customer then crosses lmax stationary queues,
+  // each with mean sojourn 1/(mu - lambda) = 2/mu.
+  const double mu = 1.0;
+  const std::size_t k = 100, L = 10;
+  std::vector<double> t1s, totals;
+  for (int r = 0; r < 300; ++r) {
+    sim::Rng rng = sim::Rng::for_run(61, r);
+    const JacksonLine net(L, mu, mu / 2, k);
+    const auto run = net.run(rng);
+    t1s.push_back(run.t1);
+    totals.push_back(run.stopping_time());
+  }
+  EXPECT_NEAR(stats::summarize(t1s).mean, 2.0 * static_cast<double>(k) / mu, 15.0);
+  const double expected_total =
+      2.0 * static_cast<double>(k) / mu + 2.0 * static_cast<double>(L) / mu;
+  EXPECT_NEAR(stats::summarize(totals).mean, expected_total, 0.2 * expected_total);
+}
+
+TEST(JacksonTest, RejectsUnstableParameters) {
+  EXPECT_THROW(JacksonLine(5, 1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(JacksonLine(0, 1.0, 0.5, 10), std::invalid_argument);
+}
+
+TEST(DominanceTest, TreeIsFasterThanAllAtFarthestLine) {
+  // Corollary 2, the keystone: t(Qtree) <= t(Qhat-line) with all k customers
+  // at the end of a line as long as the tree depth.
+  const auto tree = binary_tree(31);  // lmax = 4
+  std::vector<std::size_t> init(31, 1);
+  const std::size_t k = 31;
+  std::vector<double> ttree, tline;
+  for (int r = 0; r < 500; ++r) {
+    sim::Rng a = sim::Rng::for_run(71, r), b = sim::Rng::for_run(72, r);
+    ttree.push_back(
+        TreeQueueNetwork(tree, ServiceDist::exponential(1.0), init).run(a).stopping_time());
+    tline.push_back(run_line(5, all_at_farthest(5, k), ServiceDist::exponential(1.0), b)
+                        .stopping_time());
+  }
+  EXPECT_LT(stats::summarize(ttree).mean, stats::summarize(tline).mean);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Parameterized queueing sweeps (TEST_P): Theorem 2's bound across tree
+// shapes x customer loads, and the dominance chain across placements --
+// the property-style version of the targeted cases in test_queueing.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "queueing/line_network.hpp"
+#include "queueing/tree_network.hpp"
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace ag;
+using namespace ag::queueing;
+
+graph::SpanningTree shape(const std::string& name) {
+  if (name == "star") return graph::bfs_tree(graph::make_star(31), 0);
+  if (name == "path") return graph::bfs_tree(graph::make_path(31), 0);
+  if (name == "bintree") return graph::bfs_tree(graph::make_binary_tree(31), 0);
+  if (name == "barbell") return graph::bfs_tree(graph::make_barbell(30), 0);
+  return graph::bfs_tree(graph::make_erdos_renyi(31, 0.15, 3), 0);
+}
+
+using SweepParam = std::tuple<std::string, std::size_t>;  // shape, k
+
+class Theorem2Sweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(Theorem2Sweep, StoppingTimeWithinConstantOfBound) {
+  const auto& [name, k] = GetParam();
+  const auto tree = shape(name);
+  const std::size_t n = tree.node_count();
+  const auto lmax = tree.depth();
+  // All k customers at a deepest node (worst case for the line dominance).
+  std::vector<std::size_t> init(n, 0);
+  graph::NodeId deep = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (tree.depth_of(v) == lmax) deep = v;
+  }
+  init[deep] = k;
+
+  std::vector<double> t;
+  for (int r = 0; r < 60; ++r) {
+    sim::Rng rng = sim::Rng::for_run(3100 + k, static_cast<std::uint64_t>(r));
+    t.push_back(TreeQueueNetwork(tree, ServiceDist::exponential(1.0), init)
+                    .run(rng)
+                    .stopping_time());
+  }
+  const double mean = stats::summarize(t).mean;
+  const double bound =
+      static_cast<double>(k) + lmax + std::log2(static_cast<double>(n));
+  EXPECT_GT(mean, 0.5 * static_cast<double>(k));  // cannot beat service times
+  EXPECT_LT(mean, 4.0 * bound) << name << " k=" << k;
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return std::get<0>(info.param) + "_k" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesTimesLoads, Theorem2Sweep,
+    ::testing::Combine(::testing::Values("star", "path", "bintree", "barbell", "er"),
+                       ::testing::Values(8u, 32u, 128u)),
+    sweep_name);
+
+// Dominance chain across placements: for any placement, moving a customer
+// backward or sending all customers to the farthest queue slows the line.
+class DominanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominanceSweep, MoveBackAndAllFarthestAreSlowar) {
+  const int case_id = GetParam();
+  sim::Rng prng(5000 + static_cast<std::uint64_t>(case_id));
+  const std::size_t L = 4 + prng.uniform(6);
+  std::vector<std::size_t> placement(L, 0);
+  std::size_t total = 0;
+  for (auto& q : placement) {
+    q = prng.uniform(4);
+    total += q;
+  }
+  if (total == 0) {
+    placement[L - 1] = 3;
+    total = 3;
+  }
+  // Find a movable queue.
+  std::size_t m = L;
+  for (std::size_t i = 0; i + 1 < L; ++i) {
+    if (placement[i] > 0) {
+      m = i;
+      break;
+    }
+  }
+
+  std::vector<double> base, moved, far;
+  const auto far_placement = all_at_farthest(L, total);
+  for (int r = 0; r < 300; ++r) {
+    sim::Rng a = sim::Rng::for_run(5100 + case_id, static_cast<std::uint64_t>(r));
+    sim::Rng b = sim::Rng::for_run(5200 + case_id, static_cast<std::uint64_t>(r));
+    sim::Rng c = sim::Rng::for_run(5300 + case_id, static_cast<std::uint64_t>(r));
+    base.push_back(
+        run_line(L, placement, ServiceDist::exponential(1.0), a).stopping_time());
+    if (m < L) {
+      moved.push_back(run_line(L, move_one_back(placement, m),
+                               ServiceDist::exponential(1.0), b)
+                          .stopping_time());
+    }
+    far.push_back(
+        run_line(L, far_placement, ServiceDist::exponential(1.0), c).stopping_time());
+  }
+  const double mb = stats::summarize(base).mean;
+  const double mf = stats::summarize(far).mean;
+  EXPECT_LE(mb, mf * 1.05) << "L=" << L << " total=" << total;
+  if (!moved.empty()) {
+    EXPECT_LE(mb, stats::summarize(moved).mean * 1.05);
+  }
+}
+
+std::string dom_name(const ::testing::TestParamInfo<int>& info) {
+  return "case" + std::to_string(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPlacements, DominanceSweep, ::testing::Range(0, 8),
+                         dom_name);
+
+}  // namespace

@@ -1,0 +1,262 @@
+// Simulation-engine tests: PRNG quality/determinism, partner selectors, the
+// synchronous "visible next round" semantics, asynchronous activation law,
+// and the mailbox's same-sender-per-round filter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/partner.hpp"
+#include "sim/rng.hpp"
+#include "sim/time_model.hpp"
+
+namespace {
+
+using namespace ag;
+using graph::NodeId;
+
+TEST(RngTest, DeterministicGivenSeed) {
+  sim::Rng a(123), b(123), c(124);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a(), y = b(), z = c();
+    all_equal = all_equal && (x == y);
+    any_diff = any_diff || (x != z);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, ForRunGivesIndependentStreams) {
+  auto ra = sim::Rng::for_run(7, 0);
+  auto rb = sim::Rng::for_run(7, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (ra() == rb());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIsInRangeAndRoughlyUniform) {
+  sim::Rng rng(5);
+  std::array<int, 10> counts{};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const auto x = rng.uniform(10);
+    ASSERT_LT(x, 10u);
+    counts[x]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 10, trials / 10 * 0.1);
+  }
+}
+
+TEST(RngTest, ExponentialAndGeometricMeans) {
+  sim::Rng rng(6);
+  double esum = 0;
+  std::uint64_t gsum = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    esum += rng.exponential(2.0);
+    gsum += rng.geometric(0.25);
+  }
+  EXPECT_NEAR(esum / trials, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(gsum) / trials, 4.0, 0.05);
+}
+
+TEST(RngTest, Uniform01InHalfOpenRange) {
+  sim::Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SelectorTest, UniformPicksOnlyNeighborsAndCoversAll) {
+  const auto g = graph::make_star(6);  // node 0 center
+  sim::UniformSelector sel(g);
+  sim::Rng rng(3);
+  std::array<int, 6> hits{};
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId u = sel.pick(0, rng);
+    ASSERT_NE(u, 0u);
+    hits[u]++;
+  }
+  for (NodeId v = 1; v < 6; ++v) EXPECT_GT(hits[v], 0);
+  // Leaves always pick the center.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sel.pick(3, rng), 0u);
+}
+
+TEST(SelectorTest, RoundRobinCyclesThroughAllNeighborsInDegreeSteps) {
+  const auto g = graph::make_complete(7);
+  sim::Rng rng(4);
+  sim::RoundRobinSelector sel(g, rng);
+  std::vector<NodeId> first_cycle, second_cycle;
+  for (int i = 0; i < 6; ++i) first_cycle.push_back(sel.pick(2, rng));
+  for (int i = 0; i < 6; ++i) second_cycle.push_back(sel.pick(2, rng));
+  // One full cycle covers every neighbor exactly once ...
+  auto sorted = first_cycle;
+  std::sort(sorted.begin(), sorted.end());
+  const std::vector<NodeId> expect{0, 1, 3, 4, 5, 6};
+  EXPECT_EQ(sorted, expect);
+  // ... and the schedule is cyclic (quasirandom model).
+  EXPECT_EQ(first_cycle, second_cycle);
+}
+
+TEST(SelectorTest, FixedParentReturnsParent) {
+  graph::SpanningTree t(3);
+  t.set_root(0);
+  t.set_parent(1, 0);
+  t.set_parent(2, 1);
+  sim::FixedParentSelector sel(t);
+  sim::Rng rng(1);
+  EXPECT_EQ(sel.pick(2, rng), 1u);
+  EXPECT_EQ(sel.pick(1, rng), 0u);
+  EXPECT_EQ(sel.pick(0, rng), graph::kNoParent);
+}
+
+// --- Probe protocols for engine semantics ----------------------------------
+
+// Token-passing probe: node 0 starts with a token; on activation each token
+// holder sends it one node forward (modulo n).  Under synchronous semantics
+// the token must advance exactly one hop per round, no matter how many nodes
+// activate after the holder within the same round.
+struct TokenRelay : sim::Mailbox<TokenRelay, int> {
+  using Base = sim::Mailbox<TokenRelay, int>;
+  friend Base;
+
+  TokenRelay(std::size_t n, sim::TimeModel tm, std::size_t stop_at)
+      : Base(tm, false), n_(n), has_(n, 0), stop_at_(stop_at) {
+    has_[0] = 1;
+  }
+
+  std::size_t node_count() const { return n_; }
+  bool finished() const { return has_[stop_at_] != 0; }
+
+  void on_activate(NodeId v, sim::Rng&) {
+    if (has_[v]) send(v, (v + 1) % static_cast<NodeId>(n_), 1);
+  }
+  void end_round() { flush_inbox(); }
+
+  void deliver(NodeId, NodeId to, int&&) { has_[to] = 1; }
+
+  std::size_t n_;
+  std::vector<char> has_;
+  std::size_t stop_at_;
+};
+
+TEST(EngineTest, SynchronousInformationTravelsOneHopPerRound) {
+  // With 8 nodes and the token starting at node 0, reaching node 5 must take
+  // exactly 5 rounds: received data is usable only next round, so even though
+  // nodes 1..7 all activate in round 1, the token cannot jump ahead.
+  sim::Rng rng(2);
+  TokenRelay p(8, sim::TimeModel::Synchronous, 5);
+  const auto res = sim::run(p, rng, 100);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.rounds, 5u);
+  EXPECT_EQ(res.timeslots, 5u * 8u);
+}
+
+TEST(EngineTest, SynchronousActivatesEveryNodeEveryRound) {
+  struct Counter {
+    std::size_t n = 5;
+    std::vector<int> counts = std::vector<int>(5, 0);
+    std::uint64_t rounds = 0;
+    std::size_t node_count() const { return n; }
+    sim::TimeModel time_model() const { return sim::TimeModel::Synchronous; }
+    void on_activate(NodeId v, sim::Rng&) { counts[v]++; }
+    void end_round() { ++rounds; }
+    bool finished() const { return rounds == 10; }
+  };
+  Counter p;
+  sim::Rng rng(1);
+  const auto res = sim::run(p, rng, 100);
+  EXPECT_TRUE(res.completed);
+  for (int c : p.counts) EXPECT_EQ(c, 10);
+}
+
+TEST(EngineTest, AsynchronousActivationIsUniformOverNodes) {
+  struct Counter {
+    std::size_t n = 16;
+    std::vector<int> counts = std::vector<int>(16, 0);
+    std::uint64_t total = 0;
+    std::size_t node_count() const { return n; }
+    sim::TimeModel time_model() const { return sim::TimeModel::Asynchronous; }
+    void on_activate(NodeId v, sim::Rng&) {
+      counts[v]++;
+      ++total;
+    }
+    void end_round() {}
+    bool finished() const { return total >= 160000; }
+  };
+  Counter p;
+  sim::Rng rng(9);
+  const auto res = sim::run(p, rng, 20000);
+  EXPECT_TRUE(res.completed);
+  for (int c : p.counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(EngineTest, AsyncRoundsAreCeilOfSlotsOverN) {
+  TokenRelay p(4, sim::TimeModel::Asynchronous, 1);
+  sim::Rng rng(11);
+  const auto res = sim::run(p, rng, 1000);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.rounds, (res.timeslots + 3) / 4);
+}
+
+TEST(EngineTest, IncompleteRunReportsBudget) {
+  TokenRelay p(8, sim::TimeModel::Synchronous, 7);
+  sim::Rng rng(1);
+  const auto res = sim::run(p, rng, 3);  // needs 7 rounds, give 3
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.rounds, 3u);
+}
+
+// Mailbox filter probe: two senders each send twice to node 2 in one round.
+struct MultiSend : sim::Mailbox<MultiSend, int> {
+  using Base = sim::Mailbox<MultiSend, int>;
+  friend Base;
+
+  explicit MultiSend(bool discard) : Base(sim::TimeModel::Synchronous, discard) {}
+
+  std::size_t node_count() const { return 3; }
+  bool finished() const { return done; }
+
+  void on_activate(NodeId v, sim::Rng&) {
+    if (v == 2) return;
+    send(v, 2, 1);
+    send(v, 2, 1);
+  }
+  void end_round() {
+    flush_inbox();
+    done = true;
+  }
+  void deliver(NodeId, NodeId, int&&) { ++received; }
+
+  int received = 0;
+  bool done = false;
+};
+
+TEST(MailboxTest, SameSenderPerRoundFilter) {
+  sim::Rng rng(1);
+  MultiSend keep(false);
+  sim::run(keep, rng, 2);
+  EXPECT_EQ(keep.received, 4);  // 2 senders x 2 packets
+
+  MultiSend drop(true);
+  sim::run(drop, rng, 2);
+  EXPECT_EQ(drop.received, 2);  // second packet from each sender dropped
+}
+
+TEST(MailboxTest, MessageCountTracksSends) {
+  sim::Rng rng(1);
+  MultiSend p(false);
+  sim::run(p, rng, 2);
+  EXPECT_EQ(p.messages_sent(), 4u);
+}
+
+}  // namespace

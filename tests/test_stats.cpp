@@ -1,0 +1,85 @@
+// Statistics helpers: summary/quantiles on known data, regression on exact
+// and noisy power laws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "stats/regression.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace ag::stats;
+
+TEST(SummaryTest, KnownValues) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(SummaryTest, EmptyAndSingleton) {
+  const Summary e = summarize({});
+  EXPECT_EQ(e.count, 0u);
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(SummaryTest, QuantilesInterpolate) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(quantile(xs, 0.5), 50.5, 1e-9);
+  EXPECT_NEAR(quantile(xs, 0.0), 1.0, 1e-9);
+  EXPECT_NEAR(quantile(xs, 1.0), 100.0, 1e-9);
+  EXPECT_NEAR(quantile(xs, 0.9), 90.1, 1e-9);
+}
+
+TEST(RegressionTest, ExactLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(RegressionTest, LogLogRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    xs.push_back(x);
+    ys.push_back(3.5 * x * x);  // exponent 2
+  }
+  const LinearFit f = loglog_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 3.5, 1e-6);
+}
+
+TEST(RegressionTest, NoisyPowerLawStillCloseAndR2High) {
+  ag::sim::Rng rng(17);
+  std::vector<double> xs, ys;
+  for (double x = 8; x <= 512; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(2.0 * std::pow(x, 1.5) * (0.9 + 0.2 * rng.uniform01()));
+  }
+  const LinearFit f = loglog_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 1.5, 0.1);
+  EXPECT_GT(f.r2, 0.98);
+}
+
+TEST(RegressionTest, DegenerateInputs) {
+  const LinearFit f = linear_fit(std::vector<double>{1.0}, std::vector<double>{2.0});
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  // All-equal x has no defined slope; must not blow up.
+  const LinearFit g =
+      linear_fit(std::vector<double>{2, 2, 2}, std::vector<double>{1, 2, 3});
+  EXPECT_DOUBLE_EQ(g.slope, 0.0);
+}
+
+}  // namespace

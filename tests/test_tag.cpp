@@ -1,0 +1,194 @@
+// TAG protocol tests: two-phase interleaving, correctness with every STP
+// policy, both time models, decode verification, and the headline behaviours
+// (Theta(n) for k = Omega(n) on the barbell; TAG+IS fast for polylog k).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/stp_policies.hpp"
+#include "core/tag.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ag;
+using namespace ag::core;
+using graph::NodeId;
+
+double mean_of(const std::vector<double>& xs) {
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+using TagBrr = Tag<Gf256Decoder, BroadcastStpPolicy>;
+using TagBrrGf2 = Tag<Gf2Decoder, BroadcastStpPolicy>;
+using TagIs = Tag<Gf256Decoder, IsStpPolicy>;
+using TagIsGf2 = Tag<Gf2Decoder, IsStpPolicy>;
+
+TEST(TagTest, CompletesAndDecodesWithBroadcastStpSync) {
+  const auto g = graph::make_barbell(24);
+  sim::Rng rng(3);
+  const auto placement = uniform_distinct(8, 24, rng);
+  AgConfig cfg;
+  cfg.payload_len = 4;
+  BroadcastStpConfig stp;
+  TagBrr proto(g, placement, cfg, stp, rng);
+  const auto res = sim::run(proto, rng, 100000);
+  ASSERT_TRUE(res.completed);
+  EXPECT_TRUE(proto.policy().tree_complete());
+  EXPECT_TRUE(proto.policy().tree().is_subgraph_of(g));
+  EXPECT_LE(proto.tree_complete_round(), res.rounds);
+  for (NodeId v = 0; v < 24; ++v) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_TRUE(proto.swarm().decodes_correctly(v, i)) << "v=" << v;
+    }
+  }
+}
+
+TEST(TagTest, CompletesWithBroadcastStpAsync) {
+  const auto g = graph::make_grid(4, 6);
+  sim::Rng rng(4);
+  const auto placement = uniform_distinct(6, 24, rng);
+  AgConfig cfg;
+  cfg.time_model = sim::TimeModel::Asynchronous;
+  BroadcastStpConfig stp;
+  TagBrr proto(g, placement, cfg, stp, rng);
+  const auto res = sim::run(proto, rng, 100000);
+  ASSERT_TRUE(res.completed);
+  EXPECT_TRUE(proto.swarm().all_complete());
+}
+
+TEST(TagTest, CompletesWithIsStpBothTimeModels) {
+  const auto g = graph::make_barbell(20);
+  for (const auto tm : {sim::TimeModel::Synchronous, sim::TimeModel::Asynchronous}) {
+    sim::Rng rng(5);
+    const auto placement = uniform_distinct(6, 20, rng);
+    AgConfig cfg;
+    cfg.time_model = tm;
+    IsStpConfig stp;
+    TagIs proto(g, placement, cfg, stp, rng);
+    const auto res = sim::run(proto, rng, 200000);
+    ASSERT_TRUE(res.completed) << to_string(tm);
+    EXPECT_TRUE(proto.swarm().all_complete());
+  }
+}
+
+TEST(TagTest, PhaseParityRootStaysPassiveInPhase2) {
+  // The STP root never obtains a parent, so it must never *initiate* a
+  // Phase-2 exchange; it still finishes because children exchange with it.
+  const auto g = graph::make_star(10);
+  sim::Rng rng(6);
+  AgConfig cfg;
+  BroadcastStpConfig stp;
+  stp.origin = 0;  // center of the star is the root
+  TagBrr proto(g, all_to_all(10), cfg, stp, rng);
+  const auto res = sim::run(proto, rng, 100000);
+  ASSERT_TRUE(res.completed);
+  EXPECT_FALSE(proto.policy().has_parent(0));
+  EXPECT_TRUE(proto.swarm().node(0).full_rank());
+}
+
+TEST(TagTest, BarbellLinearForAllToAll) {
+  // Section 5: TAG + B_RR finishes in Theta(n) for k = Omega(n) on ANY
+  // graph, including the barbell where uniform AG needs Omega(n^2).
+  for (const std::size_t n : {24u, 48u}) {
+    const auto g = graph::make_barbell(n);
+    const auto rounds = stopping_rounds(
+        [&](sim::Rng& rng) {
+          AgConfig cfg;
+          BroadcastStpConfig stp;
+          return TagBrrGf2(g, all_to_all(n), cfg, stp, rng);
+        },
+        8, 100 + n, 100000);
+    // Theta(n) with a modest constant; n^2/4 would be the uniform AG cost.
+    EXPECT_LT(mean_of(rounds), 20.0 * static_cast<double>(n)) << "n=" << n;
+  }
+}
+
+TEST(TagTest, BeatsUniformAgOnBarbell) {
+  const std::size_t n = 40;
+  const auto g = graph::make_barbell(n);
+  const auto tag_rounds = stopping_rounds(
+      [&](sim::Rng& rng) {
+        AgConfig cfg;
+        BroadcastStpConfig stp;
+        return TagBrrGf2(g, all_to_all(n), cfg, stp, rng);
+      },
+      8, 11, 1000000);
+  const auto ag_rounds = stopping_rounds(
+      [&](sim::Rng&) {
+        AgConfig cfg;
+        return UniformAG<Gf2Decoder>(g, all_to_all(n), cfg);
+      },
+      8, 12, 1000000);
+  EXPECT_LT(mean_of(tag_rounds) * 2, mean_of(ag_rounds));
+}
+
+TEST(TagTest, TagWithIsFastOnBarbellForSmallK) {
+  // Theorem 7 regime: k polylog(n) on a large-weak-conductance graph; TAG+IS
+  // should finish in O(k + polylog) rounds, far below n.
+  const std::size_t n = 64;
+  const auto g = graph::make_barbell(n);
+  const std::size_t k = 8;
+  const auto rounds = stopping_rounds(
+      [&](sim::Rng& rng) {
+        const auto placement = uniform_distinct(k, n, rng);
+        AgConfig cfg;
+        IsStpConfig stp;
+        stp.order = IsListOrder::FewestCommonNeighborsFirst;
+        return TagIsGf2(g, placement, cfg, stp, rng);
+      },
+      8, 13, 100000);
+  EXPECT_LT(mean_of(rounds), static_cast<double>(n));
+}
+
+TEST(TagTest, TreeCompleteRoundIsBoundedByBroadcastTime) {
+  // In sync, t(B_RR) <= 3n and TAG runs Phase 1 every other wakeup, so the
+  // tree must complete within ~2 * 3n + 1 TAG rounds.
+  const std::size_t n = 30;
+  const auto g = graph::make_lollipop(n, 10);
+  sim::Rng rng(9);
+  AgConfig cfg;
+  BroadcastStpConfig stp;
+  TagBrrGf2 proto(g, all_to_all(n), cfg, stp, rng);
+  const auto res = sim::run(proto, rng, 100000);
+  ASSERT_TRUE(res.completed);
+  EXPECT_LE(proto.tree_complete_round(), 6 * n + 2);
+}
+
+TEST(TagTest, SingleSourcePlacementWorks) {
+  const auto g = graph::make_cycle(16);
+  sim::Rng rng(10);
+  AgConfig cfg;
+  cfg.payload_len = 2;
+  BroadcastStpConfig stp;
+  TagBrr proto(g, single_source(5, 7), cfg, stp, rng);
+  const auto res = sim::run(proto, rng, 100000);
+  ASSERT_TRUE(res.completed);
+  for (NodeId v = 0; v < 16; ++v) {
+    EXPECT_TRUE(proto.swarm().decodes_correctly(v, 4));
+  }
+}
+
+TEST(TagTest, WorksWhenMessagesOutnumberHolders) {
+  // "a node can hold more than one initial message" -- place 12 messages on
+  // 4 nodes of a 16-node graph.
+  const auto g = graph::make_grid(4, 4);
+  sim::Rng rng(11);
+  Placement p;
+  for (std::size_t i = 0; i < 12; ++i) p.owner.push_back(static_cast<NodeId>(i % 4));
+  AgConfig cfg;
+  BroadcastStpConfig stp;
+  TagBrrGf2 proto(g, p, cfg, stp, rng);
+  const auto res = sim::run(proto, rng, 100000);
+  ASSERT_TRUE(res.completed);
+}
+
+}  // namespace
