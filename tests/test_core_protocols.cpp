@@ -123,7 +123,7 @@ TEST(UniformAgTest, DiscardSameSenderIsConservative) {
   const auto g = graph::make_cycle(16);
   auto mean_rounds = [&](bool discard) {
     return stats_mean(stopping_rounds(
-        [&](sim::Rng& rng) {
+        [&](sim::Rng&) {
           AgConfig cfg;
           cfg.discard_same_sender_per_round = discard;
           return UniformAG<Gf2Decoder>(g, all_to_all(16), cfg);

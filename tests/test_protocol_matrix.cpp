@@ -197,7 +197,9 @@ TEST_P(LossMatrix, TagSurvivesLoss) {
 }
 
 std::string loss_cell_name(const ::testing::TestParamInfo<double>& info) {
-  return "p" + std::to_string(static_cast<int>(info.param * 100));
+  std::string name = "p";
+  name += std::to_string(static_cast<int>(info.param * 100));
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(DropRates, LossMatrix,
@@ -244,7 +246,9 @@ TEST_P(DecoderKSweep, BitDecoderOverheadMatchesGf2Theory) {
 }
 
 std::string k_cell_name(const ::testing::TestParamInfo<std::size_t>& info) {
-  return "k" + std::to_string(info.param);
+  std::string name = "k";
+  name += std::to_string(info.param);
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(Ks, DecoderKSweep,
