@@ -38,7 +38,7 @@ double helpful_rate(std::size_t k, std::size_t receiver_rank, std::size_t trials
 
 template <typename D>
 double ag_mean_rounds(const graph::Graph& g, std::uint64_t seed) {
-  const auto rounds = core::stopping_rounds(
+  const auto rounds = agbench::stopping_rounds(
       [&](sim::Rng&) {
         core::AgConfig cfg;
         return core::UniformAG<D>(g, core::all_to_all(g.node_count()), cfg);

@@ -34,13 +34,13 @@ int main() {
   std::vector<double> ns, t_ag, t_tag;
   for (std::size_t n = 16; n <= static_cast<std::size_t>(96 * sc); n = n * 3 / 2) {
     const auto g = graph::make_barbell(n);
-    const auto ag_rounds = core::stopping_rounds(
+    const auto ag_rounds = agbench::stopping_rounds(
         [&](sim::Rng&) {
           core::AgConfig cfg;
           return core::UniformAG<core::Gf2Decoder>(g, core::all_to_all(n), cfg);
         },
         agbench::seeds(), 1001 + n, 10000000);
-    const auto tag_rounds = core::stopping_rounds(
+    const auto tag_rounds = agbench::stopping_rounds(
         [&](sim::Rng& rng) {
           core::AgConfig cfg;
           core::BroadcastStpConfig stp;
@@ -48,7 +48,7 @@ int main() {
               g, core::all_to_all(n), cfg, stp, rng);
         },
         agbench::seeds(), 1002 + n, 10000000);
-    const auto tagis_rounds = core::stopping_rounds(
+    const auto tagis_rounds = agbench::stopping_rounds(
         [&](sim::Rng& rng) {
           core::AgConfig cfg;
           core::IsStpConfig stp;
@@ -56,7 +56,7 @@ int main() {
                                                                 cfg, stp, rng);
         },
         agbench::seeds(), 1003 + n, 10000000);
-    const auto uncoded_rounds = core::stopping_rounds(
+    const auto uncoded_rounds = agbench::stopping_rounds(
         [&](sim::Rng&) {
           core::UncodedConfig cfg;
           return core::UncodedGossip(g, core::all_to_all(n), cfg);

@@ -22,6 +22,18 @@ std::size_t seeds() {
   return 8;
 }
 
+std::size_t threads() {
+  if (const char* s = std::getenv("AG_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end != s) {  // parsed a number; anything else falls through to serial
+      if (v > 0) return static_cast<std::size_t>(v);
+      if (v == 0) return ag::core::resolve_threads(0);  // AG_THREADS=0: all cores
+    }
+  }
+  return 1;  // default: serial, same numbers either way
+}
+
 void print_header(const std::string& artifact, const std::string& claim) {
   std::printf("\n================================================================================\n");
   std::printf("%s\n", artifact.c_str());

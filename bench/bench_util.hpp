@@ -3,19 +3,34 @@
 // Every bench binary prints: a header naming the paper artifact it
 // regenerates, the claim under test, a fixed-width table of results, and a
 // VERDICT line summarising whether the measured shape matches the paper.
-// Sweep sizes scale with AG_BENCH_SCALE (default 1; >1 for deeper sweeps)
-// and seed counts with AG_BENCH_SEEDS (default 8).
+// Sweep sizes scale with AG_BENCH_SCALE (default 1; >1 for deeper sweeps),
+// seed counts with AG_BENCH_SEEDS (default 8), and worker threads with
+// AG_THREADS (default 1 = serial; 0 = all hardware threads).  Thread count
+// never changes the numbers: the parallel runner is byte-identical to the
+// serial one for the same (seed, runs).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/parallel_experiment.hpp"
+
 namespace agbench {
 
 // Environment-controlled knobs.
 double scale();        // AG_BENCH_SCALE, default 1.0
 std::size_t seeds();   // AG_BENCH_SEEDS, default 8
+std::size_t threads();  // AG_THREADS, default 1 (serial); 0 = hardware
+
+// The experiment runner every harness funnels through: the parallel runner
+// at the AG_THREADS knob (identical output at any thread count).
+template <typename MakeProto>
+std::vector<double> stopping_rounds(MakeProto&& make, std::size_t runs,
+                                    std::uint64_t seed, std::uint64_t max_rounds) {
+  return ag::core::parallel_stopping_rounds(std::forward<MakeProto>(make), runs, seed,
+                                            max_rounds, threads());
+}
 
 void print_header(const std::string& artifact, const std::string& claim);
 

@@ -27,7 +27,7 @@ using namespace ag;
 
 double mean_rounds(const graph::Graph& g, std::size_t k, bool recode, double density,
                    std::uint64_t seed) {
-  const auto rounds = core::stopping_rounds(
+  const auto rounds = agbench::stopping_rounds(
       [&](sim::Rng& rng) {
         const auto placement = core::uniform_distinct(k, g.node_count(), rng);
         core::AgConfig cfg;

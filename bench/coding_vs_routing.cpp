@@ -45,7 +45,7 @@ int main() {
     const std::size_t n = s.tree.node_count();
     const std::size_t k = n;
     for (const double p : {0.0, 0.1}) {
-      const auto rlnc = core::stopping_rounds(
+      const auto rlnc = agbench::stopping_rounds(
           [&](sim::Rng& rng) {
             const auto placement = core::uniform_distinct(k, n, rng);
             core::AgConfig cfg;

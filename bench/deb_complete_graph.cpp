@@ -35,7 +35,7 @@ int main() {
     for (const auto dir :
          {sim::Direction::Push, sim::Direction::Pull, sim::Direction::Exchange}) {
       const auto g = graph::make_complete(n);
-      const auto rounds = core::stopping_rounds(
+      const auto rounds = agbench::stopping_rounds(
           [&](sim::Rng&) {
             core::AgConfig cfg;
             cfg.direction = dir;

@@ -44,7 +44,7 @@ int main() {
     const auto lmax = s.tree.depth();
     for (const std::size_t k : {std::size_t{4}, n / 4, n}) {
       for (const auto tm : {sim::TimeModel::Synchronous, sim::TimeModel::Asynchronous}) {
-        const auto rounds = core::stopping_rounds(
+        const auto rounds = agbench::stopping_rounds(
             [&](sim::Rng& rng) {
               const auto placement = core::uniform_distinct(k, n, rng);
               core::AgConfig cfg;

@@ -36,7 +36,7 @@ int main() {
   double base_ag = 0;
   bool ok = true;
   for (const double p : {0.0, 0.1, 0.25, 0.5}) {
-    const auto ag_rounds = core::stopping_rounds(
+    const auto ag_rounds = agbench::stopping_rounds(
         [&](sim::Rng& rng) {
           const auto placement = core::uniform_distinct(k, n, rng);
           core::AgConfig cfg;
@@ -44,7 +44,7 @@ int main() {
           return core::UniformAG<core::Gf2Decoder>(g, placement, cfg);
         },
         agbench::seeds(), 1401, 10000000);
-    const auto tag_rounds = core::stopping_rounds(
+    const auto tag_rounds = agbench::stopping_rounds(
         [&](sim::Rng& rng) {
           const auto placement = core::uniform_distinct(k, n, rng);
           core::AgConfig cfg;
@@ -54,7 +54,7 @@ int main() {
                                                                        cfg, stp, rng);
         },
         agbench::seeds(), 1402, 10000000);
-    const auto un_rounds = core::stopping_rounds(
+    const auto un_rounds = agbench::stopping_rounds(
         [&](sim::Rng& rng) {
           const auto placement = core::uniform_distinct(k, n, rng);
           core::UncodedConfig cfg;

@@ -38,7 +38,7 @@ int main() {
   std::vector<double> ks, tk_sync;
   for (std::size_t k = 8; k <= n; k *= 2) {
     for (const auto tm : {sim::TimeModel::Synchronous, sim::TimeModel::Asynchronous}) {
-      const auto rounds = core::stopping_rounds(
+      const auto rounds = agbench::stopping_rounds(
           [&](sim::Rng& rng) {
             const auto placement = core::uniform_distinct(k, n, rng);
             core::AgConfig cfg;
@@ -66,7 +66,7 @@ int main() {
   for (std::size_t pn = 32; pn <= static_cast<std::size_t>(256 * sc); pn *= 2) {
     const auto path = graph::make_path(pn);
     for (const auto tm : {sim::TimeModel::Synchronous, sim::TimeModel::Asynchronous}) {
-      const auto rounds = core::stopping_rounds(
+      const auto rounds = agbench::stopping_rounds(
           [&](sim::Rng& rng) {
             const auto placement = core::uniform_distinct(fixed_k, pn, rng);
             core::AgConfig cfg;

@@ -47,7 +47,7 @@ int main() {
       for (const auto order :
            {core::IsListOrder::FewestCommonNeighborsFirst, core::IsListOrder::AdjacencyOrder}) {
         // Standalone IS: full information spreading time (Theorem 6 proxy).
-        const auto is_alone = core::stopping_rounds(
+        const auto is_alone = agbench::stopping_rounds(
             [&](sim::Rng& rng) {
               core::IsStpConfig cfg;
               cfg.order = order;
@@ -58,7 +58,7 @@ int main() {
 
         for (const auto tm :
              {sim::TimeModel::Synchronous, sim::TimeModel::Asynchronous}) {
-          const auto tag_rounds = core::stopping_rounds(
+          const auto tag_rounds = agbench::stopping_rounds(
               [&](sim::Rng& rng) {
                 const auto placement = core::uniform_distinct(k, nn, rng);
                 core::AgConfig cfg;

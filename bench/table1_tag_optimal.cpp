@@ -52,7 +52,7 @@ int main() {
       const std::size_t nn = g.node_count();
 
       // (a) standalone B_RR broadcast, sync: max over seeds must be <= 3n.
-      const auto brr_sync = core::stopping_rounds(
+      const auto brr_sync = agbench::stopping_rounds(
           [&](sim::Rng& rng) {
             core::BroadcastStpConfig cfg;
             cfg.comm = core::CommModel::RoundRobin;
@@ -62,7 +62,7 @@ int main() {
           agbench::seeds(), 70 + n, 10 * nn + 10);
       brr_ok = brr_ok && agbench::maximum(brr_sync) <= 3.0 * static_cast<double>(nn);
 
-      const auto brr_async = core::stopping_rounds(
+      const auto brr_async = agbench::stopping_rounds(
           [&](sim::Rng& rng) {
             core::BroadcastStpConfig cfg;
             cfg.comm = core::CommModel::RoundRobin;
@@ -72,7 +72,7 @@ int main() {
           agbench::seeds(), 80 + n, 1000 * nn);
 
       // (b) TAG all-to-all.
-      const auto tag_rounds = core::stopping_rounds(
+      const auto tag_rounds = agbench::stopping_rounds(
           [&](sim::Rng& rng) {
             core::AgConfig cfg;
             core::BroadcastStpConfig stp;

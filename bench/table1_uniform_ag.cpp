@@ -54,7 +54,7 @@ int main() {
     const auto delta = fam.g.max_degree();
     for (const std::size_t k : {std::size_t{4}, n / 2, n}) {
       for (const auto tm : {sim::TimeModel::Synchronous, sim::TimeModel::Asynchronous}) {
-        const auto rounds = core::stopping_rounds(
+        const auto rounds = agbench::stopping_rounds(
             [&](sim::Rng& rng) {
               const auto placement = core::uniform_distinct(k, n, rng);
               core::AgConfig cfg;

@@ -59,7 +59,7 @@ int main() {
     for (std::size_t n = 64; n <= static_cast<std::size_t>(256 * sc); n *= 2) {
       const auto g = build(fam, n);
       const std::size_t nn = g.node_count();
-      const auto rounds = core::stopping_rounds(
+      const auto rounds = agbench::stopping_rounds(
           [&](sim::Rng& rng) {
             const auto placement = core::uniform_distinct(k, nn, rng);
             core::AgConfig cfg;

@@ -54,7 +54,7 @@ int main() {
     const auto cut = graph::stoer_wagner_min_cut(f.g);
     const auto cs = graph::detect_communities(f.g);
     const double phic = graph::weak_conductance_estimate(f.g, f.c);
-    const auto rounds = core::stopping_rounds(
+    const auto rounds = agbench::stopping_rounds(
         [&](sim::Rng& rng) {
           core::IsStpConfig cfg;
           return core::StpProtocol<core::IsStpPolicy>(sim::TimeModel::Synchronous,

@@ -8,11 +8,13 @@
 // placements and prints the paper's punchline: uniform gossip drowns at the
 // uplink, TAG routes around it.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "core/decoders.hpp"
 #include "core/dissemination.hpp"
-#include "core/experiment.hpp"
+#include "core/parallel_experiment.hpp"
 #include "core/stp_policies.hpp"
 #include "core/tag.hpp"
 #include "core/uncoded_gossip.hpp"
@@ -21,8 +23,18 @@
 #include "graph/generators.hpp"
 #include "sim/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ag;
+
+  // --threads N: worker threads for the experiment runner (0 = all cores;
+  // default reads AG_THREADS, else all cores).  The results are identical
+  // for every thread count -- only the wall clock changes.
+  std::size_t threads = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<std::size_t>(std::atol(argv[i + 1]));
+    }
+  }
 
   const std::size_t n = 64;  // 32 machines per rack
   const std::size_t k = 24;  // config blobs to replicate
@@ -30,7 +42,9 @@ int main() {
 
   std::printf("two-rack datacenter: n=%zu machines, single uplink, D=%u\n", n,
               graph::diameter(dc));
-  std::printf("task: replicate k=%zu config blobs to all machines\n\n", k);
+  std::printf("task: replicate k=%zu config blobs to all machines "
+              "(%zu worker threads)\n\n",
+              k, core::resolve_threads(threads));
 
   const std::size_t runs = 10;
   auto report = [&](const char* name, const std::vector<double>& rounds) {
@@ -47,16 +61,16 @@ int main() {
   std::printf("protocols (over %zu runs):\n", runs);
   const double t_ag = report(
       "uniform algebraic gossip",
-      core::stopping_rounds(
+      core::parallel_stopping_rounds(
           [&](sim::Rng& rng) {
             const auto placement = core::uniform_distinct(k, n, rng);
             core::AgConfig cfg;
             return core::UniformAG<core::Gf256Decoder>(dc, placement, cfg);
           },
-          runs, 1, 10000000));
+          runs, 1, 10000000, threads));
   const double t_tag = report(
       "TAG + round-robin broadcast tree",
-      core::stopping_rounds(
+      core::parallel_stopping_rounds(
           [&](sim::Rng& rng) {
             const auto placement = core::uniform_distinct(k, n, rng);
             core::AgConfig cfg;
@@ -64,10 +78,10 @@ int main() {
             return core::Tag<core::Gf256Decoder, core::BroadcastStpPolicy>(
                 dc, placement, cfg, stp, rng);
           },
-          runs, 2, 10000000));
+          runs, 2, 10000000, threads));
   const double t_tagis = report(
       "TAG + IS tree (weak conductance)",
-      core::stopping_rounds(
+      core::parallel_stopping_rounds(
           [&](sim::Rng& rng) {
             const auto placement = core::uniform_distinct(k, n, rng);
             core::AgConfig cfg;
@@ -75,16 +89,16 @@ int main() {
             return core::Tag<core::Gf256Decoder, core::IsStpPolicy>(dc, placement, cfg,
                                                                     stp, rng);
           },
-          runs, 3, 10000000));
+          runs, 3, 10000000, threads));
   const double t_un = report(
       "uncoded store-and-forward",
-      core::stopping_rounds(
+      core::parallel_stopping_rounds(
           [&](sim::Rng& rng) {
             const auto placement = core::uniform_distinct(k, n, rng);
             core::UncodedConfig cfg;
             return core::UncodedGossip(dc, placement, cfg);
           },
-          runs, 4, 10000000));
+          runs, 4, 10000000, threads));
 
   std::printf("\nspeedups vs uniform gossip: TAG+B_RR %.1fx, TAG+IS %.1fx\n",
               t_ag / t_tag, t_ag / t_tagis);

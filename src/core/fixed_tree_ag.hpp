@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "core/ag_config.hpp"
 #include "core/swarm.hpp"
@@ -42,10 +41,11 @@ class FixedTreeAG
   void on_activate(graph::NodeId v, sim::Rng& rng) {
     if (!tree_->has_parent(v)) return;  // root: passive
     const graph::NodeId p = tree_->parent(v);
-    std::optional<packet_type> from_v = swarm_.combine(v, rng);
-    std::optional<packet_type> from_p = swarm_.combine(p, rng);
-    if (from_v) this->send(v, p, std::move(*from_v));
-    if (from_p) this->send(p, v, std::move(*from_p));
+    // EXCHANGE: both packets built (in reusable scratch) before either send.
+    const bool have_v = swarm_.combine_into(v, rng, buf_v_);
+    const bool have_p = swarm_.combine_into(p, rng, buf_p_);
+    if (have_v) this->send(v, p, buf_v_);
+    if (have_p) this->send(p, v, buf_p_);
   }
 
   void end_round() {
@@ -56,12 +56,13 @@ class FixedTreeAG
   const RlncSwarm<D>& swarm() const noexcept { return swarm_; }
 
  private:
-  void deliver(graph::NodeId /*from*/, graph::NodeId to, packet_type&& pkt) {
+  void deliver(graph::NodeId /*from*/, graph::NodeId to, const packet_type& pkt) {
     swarm_.receive(to, pkt, round_);
   }
 
   const graph::SpanningTree* tree_;
   RlncSwarm<D> swarm_;
+  packet_type buf_v_, buf_p_;  // reusable transmit scratch
   std::uint64_t round_ = 0;
 };
 

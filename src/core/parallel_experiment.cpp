@@ -1,0 +1,63 @@
+#include "core/parallel_experiment.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ag::core {
+
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  if (const char* s = std::getenv("AG_THREADS")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for_index(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (threads > count) threads = count;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Fail fast like the serial loop: the caller only ever sees the
+        // rethrown exception, so finishing the remaining indices would be
+        // wasted work.  In-flight bodies complete; queued ones are skipped.
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  }  // jthread joins on destruction
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ag::core

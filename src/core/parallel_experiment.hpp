@@ -1,0 +1,70 @@
+// Parallel experiment runner: the multi-threaded counterpart of
+// core::stopping_rounds (experiment.hpp), which remains the single-thread
+// fallback.
+//
+// Runs are embarrassingly parallel: run r's trajectory is fully determined
+// by sim::Rng::for_run(seed, r) and nothing else, so a pool of workers
+// pulling run indices off an atomic counter produces a result vector that is
+// byte-identical to the serial runner's for the same (seed, runs) --
+// element r is always run r, whichever thread executed it.  That determinism
+// is load-bearing: the couplings and every Table 1 sweep compare runs across
+// protocols by index.
+//
+// Requirements on `make`: it is invoked concurrently from worker threads and
+// must be thread-safe.  Every protocol factory in this repo already is --
+// they capture graphs/configs by const reference and draw randomness only
+// from the per-run Rng they are handed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace ag::core {
+
+// Worker count resolution for `threads`:
+//   0  -> the AG_THREADS environment variable if set and positive, else
+//         std::thread::hardware_concurrency().
+//   n  -> exactly n.
+// The result is additionally clamped to the number of runs by the runner.
+std::size_t resolve_threads(std::size_t threads);
+
+// Executes body(0) .. body(count - 1), each exactly once, across `threads`
+// std::jthread workers pulling indices from a shared atomic counter.
+// The first exception thrown by any body is rethrown on the caller's thread
+// after all workers have drained.  threads <= 1 runs inline.
+void parallel_for_index(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& body);
+
+// Parallel drop-in for stopping_rounds: repeat a stochastic protocol run
+// `runs` times with independent (seed, run-index) streams and collect
+// stopping times in rounds.  Byte-identical output to stopping_rounds for
+// every thread count, including 1 (which takes the serial path).  Throws if
+// any run exceeds max_rounds, exactly like the serial runner.
+template <typename MakeProto>
+std::vector<double> parallel_stopping_rounds(MakeProto&& make, std::size_t runs,
+                                             std::uint64_t seed, std::uint64_t max_rounds,
+                                             std::size_t threads = 0) {
+  threads = resolve_threads(threads);
+  if (threads > runs) threads = runs;
+  if (threads <= 1) return stopping_rounds(make, runs, seed, max_rounds);
+
+  std::vector<double> rounds(runs);
+  parallel_for_index(runs, threads, [&](std::size_t r) {
+    sim::Rng rng = sim::Rng::for_run(seed, r);
+    auto proto = make(rng);
+    const sim::RunResult res = sim::run(proto, rng, max_rounds);
+    if (!res.completed) {
+      throw std::runtime_error("parallel_stopping_rounds: run exceeded max_rounds budget");
+    }
+    rounds[r] = static_cast<double>(res.rounds);
+  });
+  return rounds;
+}
+
+}  // namespace ag::core

@@ -57,7 +57,7 @@ class StpProtocol
 
  private:
   void deliver(graph::NodeId from, graph::NodeId to,
-               typename Policy::message_type&& msg) {
+               const typename Policy::message_type& msg) {
     policy_.on_message(from, to, msg);
   }
 

@@ -70,6 +70,23 @@ class RlncSwarm {
     return nodes_[v].random_combination(rng, density);
   }
 
+  // Allocation-free transmit rules: write into a caller-owned packet whose
+  // buffers are reused across calls.  Returns false when v stores nothing.
+  // These are what the protocol hot loops use; the optional-returning
+  // variants above remain for one-off callers.
+  template <typename URBG>
+  bool combine_into(graph::NodeId v, URBG& rng, packet_type& out) const {
+    return nodes_[v].random_combination_into(rng, out);
+  }
+
+  template <typename URBG>
+  bool combine_into(graph::NodeId v, URBG& rng, bool recode, double density,
+                    packet_type& out) const {
+    if (!recode) return nodes_[v].random_stored_row_into(rng, out);
+    if (density >= 1.0) return nodes_[v].random_combination_into(rng, out);
+    return nodes_[v].random_combination_into(rng, density, out);
+  }
+
   // Receive path: inserts into `to`'s decoder, updating completion tracking.
   // `now_round` stamps the completion time.  Returns true iff helpful.
   bool receive(graph::NodeId to, const packet_type& pkt, std::uint64_t now_round) {

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <utility>
 #include <variant>
 
@@ -69,17 +68,20 @@ class Tag : public sim::Mailbox<
       });
     } else {
       // Phase 2: algebraic gossip EXCHANGE with the fixed parent, once known.
+      // The packets are built directly inside two reusable variant buffers
+      // (kept holding the packet alternative so their heap capacity
+      // survives), computed before either send -- a simultaneous swap.
       if (!policy_.has_parent(v)) return;
       const graph::NodeId p = policy_.parent(v);
-      std::optional<packet_type> from_v = swarm_.combine(v, rng);
-      std::optional<packet_type> from_p = swarm_.combine(p, rng);
-      if (from_v) {
+      const bool have_v = swarm_.combine_into(v, rng, packet_buf(msg_buf_v_));
+      const bool have_p = swarm_.combine_into(p, rng, packet_buf(msg_buf_p_));
+      if (have_v) {
         ++ag_messages_;
-        this->send(v, p, message_type(std::in_place_index<1>, std::move(*from_v)));
+        this->send(v, p, msg_buf_v_);
       }
-      if (from_p) {
+      if (have_p) {
         ++ag_messages_;
-        this->send(p, v, message_type(std::in_place_index<1>, std::move(*from_p)));
+        this->send(p, v, msg_buf_p_);
       }
     }
   }
@@ -113,7 +115,7 @@ class Tag : public sim::Mailbox<
   }
 
  private:
-  void deliver(graph::NodeId from, graph::NodeId to, message_type&& msg) {
+  void deliver(graph::NodeId from, graph::NodeId to, const message_type& msg) {
     if (msg.index() == 0) {
       policy_.on_message(from, to, std::get<0>(msg));
     } else {
@@ -121,9 +123,18 @@ class Tag : public sim::Mailbox<
     }
   }
 
+  // Returns the packet alternative of a scratch variant, switching the
+  // variant to it (once) if it currently holds the Phase-1 alternative.
+  static packet_type& packet_buf(message_type& m) {
+    if (m.index() != 1) m.template emplace<1>();
+    return std::get<1>(m);
+  }
+
   const graph::Graph* g_;
   RlncSwarm<D> swarm_;
   Policy policy_;
+  message_type msg_buf_v_{std::in_place_index<1>};  // reusable Phase-2 scratch
+  message_type msg_buf_p_{std::in_place_index<1>};
   std::vector<std::uint64_t> wakeups_;
   std::uint64_t round_ = 0;
   std::uint64_t tree_complete_round_ = kNever;

@@ -83,7 +83,7 @@ class TreeRoutingGossip
   std::size_t complete_count() const noexcept { return complete_; }
 
  private:
-  void deliver(graph::NodeId from, graph::NodeId to, std::uint32_t&& block) {
+  void deliver(graph::NodeId from, graph::NodeId to, const std::uint32_t& block) {
     store(to, block, from);
   }
 

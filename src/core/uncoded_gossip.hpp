@@ -74,7 +74,7 @@ class UncodedGossip
   std::size_t known_count(graph::NodeId v) const { return known_[v].size(); }
 
  private:
-  void deliver(graph::NodeId /*from*/, graph::NodeId to, std::uint32_t&& msg) {
+  void deliver(graph::NodeId /*from*/, graph::NodeId to, const std::uint32_t& msg) {
     if (has_[to][msg]) return;
     has_[to][msg] = 1;
     known_[to].push_back(msg);

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "core/ag_config.hpp"
 #include "core/swarm.hpp"
@@ -47,15 +46,17 @@ class UniformAG
     const graph::NodeId u = selector_.pick(v, rng);
     // Compute both packets before sending either: the paper's EXCHANGE is a
     // simultaneous swap, so u's reply must not already contain v's packet.
-    std::optional<packet_type> from_v, from_u;
+    // Both are built in reusable scratch packets -- the combine/send path
+    // allocates nothing in steady state.
+    bool have_v = false, have_u = false;
     if (cfg_.direction != sim::Direction::Pull) {
-      from_v = swarm_.combine(v, rng, cfg_.recode, cfg_.coding_density);
+      have_v = swarm_.combine_into(v, rng, cfg_.recode, cfg_.coding_density, buf_v_);
     }
     if (cfg_.direction != sim::Direction::Push) {
-      from_u = swarm_.combine(u, rng, cfg_.recode, cfg_.coding_density);
+      have_u = swarm_.combine_into(u, rng, cfg_.recode, cfg_.coding_density, buf_u_);
     }
-    if (from_v) this->send(v, u, std::move(*from_v));
-    if (from_u) this->send(u, v, std::move(*from_u));
+    if (have_v) this->send(v, u, buf_v_);
+    if (have_u) this->send(u, v, buf_u_);
   }
 
   void end_round() {
@@ -74,7 +75,7 @@ class UniformAG
   }
 
  private:
-  void deliver(graph::NodeId from, graph::NodeId to, packet_type&& pkt) {
+  void deliver(graph::NodeId from, graph::NodeId to, const packet_type& pkt) {
     (void)from;
     swarm_.receive(to, pkt, round_);
   }
@@ -83,6 +84,7 @@ class UniformAG
   AgConfig cfg_;
   RlncSwarm<D> swarm_;
   sim::UniformSelector selector_;
+  packet_type buf_v_, buf_u_;  // reusable transmit scratch
   std::uint64_t round_ = 0;
 };
 

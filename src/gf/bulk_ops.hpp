@@ -3,44 +3,31 @@
 // These are the hot loops of the library: building a random linear
 // combination is a sequence of axpy calls (dst += c * src), and Gaussian
 // elimination is axpy plus scale.  For GF(256) we additionally expose a
-// row-table variant of axpy that hoists the log(c) lookup out of the loop.
+// row-table variant of axpy that hoists the log(c) lookup out of the loop;
+// the generic axpy dispatches to it automatically.
+//
+// Contract: dst and src must be the same length.  Earlier versions silently
+// operated on min(dst, src), which masked caller bugs (a short destination
+// truncated the update instead of failing); debug builds now assert.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 
 #include "gf/field_concept.hpp"
 #include "gf/gf2m.hpp"
 
 namespace ag::gf {
 
-// dst[i] = F::add(dst[i], F::mul(c, src[i])) for all i.
-template <GaloisField F>
-void axpy(std::span<typename F::value_type> dst,
-          std::span<const typename F::value_type> src,
-          typename F::value_type c) noexcept {
-  if (c == F::zero) return;
-  const std::size_t m = dst.size() < src.size() ? dst.size() : src.size();
-  if (c == F::one) {
-    for (std::size_t i = 0; i < m; ++i) dst[i] = F::add(dst[i], src[i]);
-    return;
-  }
-  for (std::size_t i = 0; i < m; ++i) dst[i] = F::add(dst[i], F::mul(c, src[i]));
-}
-
-// dst[i] = F::mul(c, dst[i]) for all i.
-template <GaloisField F>
-void scale(std::span<typename F::value_type> dst, typename F::value_type c) noexcept {
-  if (c == F::one) return;
-  for (auto& x : dst) x = F::mul(c, x);
-}
-
 // GF(256) axpy with the multiplicand's log hoisted out of the loop.
 inline void axpy_gf256(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
                        std::uint8_t c) noexcept {
+  assert(dst.size() == src.size() && "axpy_gf256: span length mismatch");
   if (c == 0) return;
-  const std::size_t m = dst.size() < src.size() ? dst.size() : src.size();
+  const std::size_t m = dst.size();
   if (c == 1) {
     for (std::size_t i = 0; i < m; ++i) dst[i] ^= src[i];
     return;
@@ -53,9 +40,50 @@ inline void axpy_gf256(std::span<std::uint8_t> dst, std::span<const std::uint8_t
   }
 }
 
+// dst[i] = F::add(dst[i], F::mul(c, src[i])) for all i.  GF(256) rows are
+// routed through the log-hoisted table variant above.
+template <GaloisField F>
+void axpy(std::span<typename F::value_type> dst,
+          std::span<const typename F::value_type> src,
+          typename F::value_type c) noexcept {
+  assert(dst.size() == src.size() && "gf::axpy: span length mismatch");
+  if constexpr (std::is_same_v<F, GF2m<8, 0x11D>>) {
+    axpy_gf256(dst, src, c);
+    return;
+  } else {
+    if (c == F::zero) return;
+    const std::size_t m = dst.size();
+    if (c == F::one) {
+      for (std::size_t i = 0; i < m; ++i) dst[i] = F::add(dst[i], src[i]);
+      return;
+    }
+    for (std::size_t i = 0; i < m; ++i) dst[i] = F::add(dst[i], F::mul(c, src[i]));
+  }
+}
+
+// dst[i] = F::mul(c, dst[i]) for all i.
+template <GaloisField F>
+void scale(std::span<typename F::value_type> dst, typename F::value_type c) noexcept {
+  if (c == F::one) return;
+  if constexpr (std::is_same_v<F, GF2m<8, 0x11D>>) {
+    if (c == 0) {
+      for (auto& x : dst) x = 0;
+      return;
+    }
+    const auto& t = detail::tables<8, 0x11D>();
+    const std::uint32_t logc = t.log_[c];
+    for (auto& x : dst) {
+      if (x != 0) x = t.exp_[logc + t.log_[x]];
+    }
+  } else {
+    for (auto& x : dst) x = F::mul(c, x);
+  }
+}
+
 // Word-parallel XOR for bit-packed GF(2) rows: dst ^= src.
 inline void xor_words(std::span<std::uint64_t> dst, std::span<const std::uint64_t> src) noexcept {
-  const std::size_t m = dst.size() < src.size() ? dst.size() : src.size();
+  assert(dst.size() == src.size() && "gf::xor_words: span length mismatch");
+  const std::size_t m = dst.size();
   for (std::size_t i = 0; i < m; ++i) dst[i] ^= src[i];
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <type_traits>
 
@@ -81,12 +82,20 @@ struct GF2m {
     return t.exp_[t.log_[a] + t.log_[b]];
   }
 
+  // Contract: inv(0) is undefined in any field.  Debug builds assert; release
+  // builds return 0 (the inv_ table keeps a total domain) so the result is at
+  // least deterministic, but callers must not rely on it.
   static value_type inv(value_type a) noexcept {
+    assert(a != 0 && "GF2m::inv: zero has no multiplicative inverse");
     const auto& t = detail::tables<M, Poly>();
     return t.inv_[a];
   }
 
+  // Contract: div(a, 0) is undefined.  Debug builds assert; release builds
+  // would otherwise read the log_[0] sentinel and return garbage, so the
+  // zero-divisor case is explicitly unspecified -- callers must guard.
   static value_type div(value_type a, value_type b) noexcept {
+    assert(b != 0 && "GF2m::div: division by zero");
     if (a == 0) return 0;
     const auto& t = detail::tables<M, Poly>();
     return t.exp_[t.log_[a] + (order - 1) - t.log_[b]];

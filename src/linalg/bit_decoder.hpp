@@ -5,8 +5,17 @@
 // large stopping-time sweeps (e.g. the barbell's Theta(n^2) rounds, Table 1 /
 // E5) use this decoder: the paper's bounds hold for every q >= 2, and q = 2
 // only changes the helpfulness constant from 1 - 1/q to 1/2, not the order.
+//
+// Storage mirrors DenseDecoder: rows live in one flat arena, each row a
+// contiguous [coeff words | payload words] stripe, the arena is reserved at
+// full-rank capacity, and insert/contains/the *_into builders reuse
+// per-decoder scratch -- zero steady-state allocations.  Stored rows are
+// zero before their pivot word (first set bit = pivot), so eliminations XOR
+// only the [pivot_word, stride) tail, coefficient words and payload fused
+// in one xor_words call.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstddef>
@@ -16,6 +25,7 @@
 #include <vector>
 
 #include "gf/bulk_ops.hpp"
+#include "util/urbg.hpp"
 
 namespace ag::linalg {
 
@@ -39,7 +49,10 @@ class BitDecoder {
       : k_(k),
         words_(words_for(k)),
         payload_words_(payload_words),
-        pivot_row_(k, npos) {}
+        pivot_row_(k, npos) {
+    arena_.reserve(k_ * stride());
+    scratch_.resize(stride());
+  }
 
   static constexpr std::size_t words_for(std::size_t bits) noexcept {
     return (bits + 63) / 64;
@@ -47,8 +60,11 @@ class BitDecoder {
 
   std::size_t message_count() const noexcept { return k_; }
   std::size_t payload_length() const noexcept { return payload_words_; }
-  std::size_t rank() const noexcept { return rows_.size(); }
-  bool full_rank() const noexcept { return rank() == k_; }
+  std::size_t rank() const noexcept { return rank_; }
+  bool full_rank() const noexcept { return rank_ == k_; }
+
+  // Words per stored row: coefficient words then payload words, contiguous.
+  std::size_t stride() const noexcept { return words_ + payload_words_; }
 
   // Payload symbols are whole words over GF(2); any 64-bit value is valid.
   static std::uint64_t payload_symbol_from(std::uint64_t w) noexcept { return w; }
@@ -62,6 +78,7 @@ class BitDecoder {
   packet_type unit_packet(std::size_t i,
                           std::span<const std::uint64_t> payload = {}) const {
     assert(i < k_);
+    assert(payload.size() <= payload_words_);
     packet_type p;
     p.coeffs.assign(words_, 0);
     p.coeffs[i / 64] = std::uint64_t{1} << (i % 64);
@@ -72,23 +89,28 @@ class BitDecoder {
 
   bool insert(const packet_type& pkt) {
     assert(pkt.coeffs.size() == words_);
-    Row row;
-    row.coeffs = pkt.coeffs;
-    row.payload = pkt.payload;
-    row.payload.resize(payload_words_, 0);
+    assert(pkt.payload.size() <= payload_words_);
+    // Over-long payloads assert above; in release they are clamped so the
+    // copy can never run past the stripe.
+    const std::size_t plen =
+        pkt.payload.size() < payload_words_ ? pkt.payload.size() : payload_words_;
+    std::uint64_t* row = scratch_.data();
+    std::copy(pkt.coeffs.begin(), pkt.coeffs.end(), row);
+    std::copy(pkt.payload.begin(), pkt.payload.begin() + plen, row + words_);
+    std::fill(row + words_ + plen, row + stride(), 0);
 
     // Full forward elimination: clear every set bit that collides with a
     // stored pivot (not just up to the first pivot-free column -- the stored
     // rows must stay fully reduced for decode() to read off the RREF).  The
     // lowest set bit with no pivot row becomes the new pivot.  Stored rows
-    // are themselves fully reduced, so eliminating at column c clears bit c
-    // and toggles only strictly higher, non-pivot columns; pivot-free bits
-    // already seen (skip mask) are never disturbed.
+    // are themselves fully reduced and zero before their pivot word, so
+    // eliminating at column c XORs only the word-tail from c's word onward;
+    // pivot-free bits already seen (skip mask) are never disturbed.
     std::size_t pivot = npos;
     for (std::size_t w = 0; w < words_; ++w) {
       std::uint64_t skip = 0;  // pivot-free bits of this word, kept as-is
       while (true) {
-        const std::uint64_t active = row.coeffs[w] & ~skip;
+        const std::uint64_t active = row[w] & ~skip;
         if (active == 0) break;
         const auto bit = static_cast<std::size_t>(std::countr_zero(active));
         const std::size_t col = w * 64 + bit;
@@ -97,98 +119,131 @@ class BitDecoder {
           if (pivot == npos) pivot = col;
           skip |= std::uint64_t{1} << bit;
         } else {
-          gf::xor_words(row.coeffs, rows_[ri].coeffs);
-          gf::xor_words(row.payload, rows_[ri].payload);
+          // Source row's first set bit is col (in word w): XOR the fused
+          // [w, stride) tail -- coefficient words and payload together.
+          gf::xor_words(tail(row, w), ctail(row_ptr(ri), w));
         }
       }
     }
     if (pivot == npos) return false;
 
-    row.pivot = pivot;
-    // Back-eliminate this pivot from existing rows (keeps RREF).
+    // Back-eliminate this pivot from existing rows (keeps RREF).  A row with
+    // this pivot bit set has its own pivot strictly below `pivot`, so its
+    // prefix words are untouched.
     const std::size_t pw = pivot / 64;
     const std::uint64_t pm = std::uint64_t{1} << (pivot % 64);
-    for (auto& r : rows_) {
-      if (r.coeffs[pw] & pm) {
-        gf::xor_words(r.coeffs, row.coeffs);
-        gf::xor_words(r.payload, row.payload);
-      }
+    for (std::size_t i = 0; i < rank_; ++i) {
+      std::uint64_t* r = row_ptr(i);
+      if (r[pw] & pm) gf::xor_words(tail(r, pw), ctail(row, pw));
     }
 
-    pivot_row_[pivot] = rows_.size();
-    rows_.push_back(std::move(row));
+    pivot_row_[pivot] = rank_;
+    arena_.insert(arena_.end(), scratch_.begin(), scratch_.end());
+    ++rank_;
     return true;
   }
 
+  // Uniform random combination (each stored row joins with probability 1/2).
+  // Random bits are drawn via util::random_bits so any URBG width is
+  // handled; `out`'s buffers are reused -- recycling callers allocate
+  // nothing.
   template <typename URBG>
-  std::optional<packet_type> random_combination(URBG& rng) const {
-    if (rows_.empty()) return std::nullopt;
-    packet_type out;
+  bool random_combination_into(URBG& rng, packet_type& out) const {
+    if (rank_ == 0) return false;
     out.coeffs.assign(words_, 0);
     out.payload.assign(payload_words_, 0);
     std::uint64_t bits = 0;
     unsigned avail = 0;
-    for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < rank_; ++i) {
       if (avail == 0) {
-        bits = rng();
+        bits = util::random_bits(rng, 64);
         avail = 64;
       }
       const bool take = bits & 1;
       bits >>= 1;
       --avail;
       if (!take) continue;
-      gf::xor_words(out.coeffs, r.coeffs);
-      gf::xor_words(out.payload, r.payload);
+      const std::uint64_t* r = row_ptr(i);
+      gf::xor_words(std::span<std::uint64_t>(out.coeffs),
+                    std::span<const std::uint64_t>(r, words_));
+      gf::xor_words(std::span<std::uint64_t>(out.payload),
+                    std::span<const std::uint64_t>(r + words_, payload_words_));
     }
+    return true;
+  }
+
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng) const {
+    packet_type out;
+    if (!random_combination_into(rng, out)) return std::nullopt;
     return out;
   }
 
   // Sparse-coding variant: each stored row joins the XOR independently with
   // probability `density` (over GF(2) the only nonzero coefficient is 1).
   template <typename URBG>
-  std::optional<packet_type> random_combination(URBG& rng, double density) const {
-    if (rows_.empty()) return std::nullopt;
-    packet_type out;
+  bool random_combination_into(URBG& rng, double density, packet_type& out) const {
+    if (rank_ == 0) return false;
     out.coeffs.assign(words_, 0);
     out.payload.assign(payload_words_, 0);
-    for (const auto& r : rows_) {
-      const double u = static_cast<double>(rng() >> 11) * 0x1.0p-53;
-      if (u >= density) continue;
-      gf::xor_words(out.coeffs, r.coeffs);
-      gf::xor_words(out.payload, r.payload);
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (util::canonical_double(rng) >= density) continue;
+      const std::uint64_t* r = row_ptr(i);
+      gf::xor_words(std::span<std::uint64_t>(out.coeffs),
+                    std::span<const std::uint64_t>(r, words_));
+      gf::xor_words(std::span<std::uint64_t>(out.payload),
+                    std::span<const std::uint64_t>(r + words_, payload_words_));
     }
+    return true;
+  }
+
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng, double density) const {
+    packet_type out;
+    if (!random_combination_into(rng, density, out)) return std::nullopt;
     return out;
   }
 
   // Store-and-forward variant (no recoding): a random stored row verbatim.
   template <typename URBG>
+  bool random_stored_row_into(URBG& rng, packet_type& out) const {
+    if (rank_ == 0) return false;
+    const std::uint64_t* r = row_ptr(util::uniform_below(rng, rank_));
+    out.coeffs.assign(r, r + words_);
+    out.payload.assign(r + words_, r + stride());
+    return true;
+  }
+
+  template <typename URBG>
   std::optional<packet_type> random_stored_row(URBG& rng) const {
-    if (rows_.empty()) return std::nullopt;
-    const auto& r = rows_[rng() % rows_.size()];
     packet_type out;
-    out.coeffs = r.coeffs;
-    out.payload = r.payload;
+    if (!random_stored_row_into(rng, out)) return std::nullopt;
     return out;
   }
 
   bool is_helpful_node(const BitDecoder& other) const {
     if (full_rank()) return false;
-    for (const auto& r : other.rows_) {
-      if (!contains(r.coeffs)) return true;
+    for (std::size_t i = 0; i < other.rank_; ++i) {
+      if (!contains({other.row_ptr(i), words_})) return true;
     }
     return false;
   }
 
+  // Whether `coeffs` lies in the row space of this decoder.  Uses a reusable
+  // per-decoder scratch buffer; no allocation after the first call.
   bool contains(std::span<const std::uint64_t> coeffs) const {
     assert(coeffs.size() == words_);
-    std::vector<std::uint64_t> tmp(coeffs.begin(), coeffs.end());
+    contains_scratch_.assign(coeffs.begin(), coeffs.end());
+    std::uint64_t* tmp = contains_scratch_.data();
     for (std::size_t w = 0; w < words_; ++w) {
       while (tmp[w] != 0) {
         const auto bit = static_cast<std::size_t>(std::countr_zero(tmp[w]));
         const std::size_t col = w * 64 + bit;
         const std::size_t ri = pivot_row_[col];
         if (ri == npos) return false;
-        gf::xor_words(tmp, rows_[ri].coeffs);
+        // Stored row ri's first set bit is col: XOR the [w, words) tail.
+        gf::xor_words(std::span<std::uint64_t>(tmp + w, words_ - w),
+                      std::span<const std::uint64_t>(row_ptr(ri) + w, words_ - w));
       }
     }
     return true;
@@ -196,22 +251,33 @@ class BitDecoder {
 
   std::span<const std::uint64_t> decoded_message(std::size_t i) const {
     assert(full_rank() && i < k_);
-    return rows_[pivot_row_[i]].payload;
+    return {row_ptr(pivot_row_[i]) + words_, payload_words_};
   }
 
  private:
-  struct Row {
-    std::vector<std::uint64_t> coeffs;
-    std::vector<std::uint64_t> payload;
-    std::size_t pivot = 0;
-  };
-
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::uint64_t* row_ptr(std::size_t i) noexcept { return arena_.data() + i * stride(); }
+  const std::uint64_t* row_ptr(std::size_t i) const noexcept {
+    return arena_.data() + i * stride();
+  }
+
+  // The [w, stride) word-tail of a row stripe: coefficient words w..words_
+  // plus the payload, one contiguous span.
+  std::span<std::uint64_t> tail(std::uint64_t* row, std::size_t w) const noexcept {
+    return {row + w, stride() - w};
+  }
+  std::span<const std::uint64_t> ctail(const std::uint64_t* row, std::size_t w) const noexcept {
+    return {row + w, stride() - w};
+  }
 
   std::size_t k_;
   std::size_t words_;
   std::size_t payload_words_;
-  std::vector<Row> rows_;
+  std::size_t rank_ = 0;
+  std::vector<std::uint64_t> arena_;       // rank_ stripes of stride() words
+  std::vector<std::uint64_t> scratch_;     // staging stripe for insert()
+  mutable std::vector<std::uint64_t> contains_scratch_;  // words_ words
   std::vector<std::size_t> pivot_row_;
 };
 

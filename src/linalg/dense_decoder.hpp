@@ -10,8 +10,22 @@
 // Cost per insert: O(k * rank) field operations.  Rows are normalized
 // (pivot = 1) and back-eliminated on insertion so that full rank implies the
 // identity matrix and decode() is O(1) per message.
+//
+// Storage: rows live in one flat arena, each row a contiguous
+// [coeffs (k) | payload (r)] stripe of `stride()` symbols.  That keeps the
+// elimination inner loops on a single cache stream, lets the coefficient
+// tail and the payload be updated by ONE fused axpy per elimination, and
+// means the decoder performs no steady-state allocations: the arena is
+// reserved at full-rank capacity up front and `insert`, `contains` and the
+// `*_into` combination builders reuse per-decoder scratch buffers.
+//
+// Elimination exploits the RREF prefix invariant (every stored row is zero
+// strictly before its pivot column, proved in insert() below): eliminating
+// at column p only ever touches columns >= p, so all axpys run on the
+// [p, stride) tail instead of the whole row.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstddef>
@@ -22,6 +36,7 @@
 
 #include "gf/bulk_ops.hpp"
 #include "gf/field_concept.hpp"
+#include "util/urbg.hpp"
 
 namespace ag::linalg {
 
@@ -48,13 +63,21 @@ class DenseDecoder {
   using packet_type = DensePacket<F>;
 
   // k: number of unknown messages; payload_len: symbols per message payload.
+  // The row arena is reserved at full-rank capacity so inserts never
+  // reallocate.
   explicit DenseDecoder(std::size_t k, std::size_t payload_len = 0)
-      : k_(k), payload_len_(payload_len), pivot_row_(k, npos) {}
+      : k_(k), payload_len_(payload_len), pivot_row_(k, npos) {
+    arena_.reserve(k_ * stride());
+    scratch_.resize(stride());
+  }
 
   std::size_t message_count() const noexcept { return k_; }
   std::size_t payload_length() const noexcept { return payload_len_; }
-  std::size_t rank() const noexcept { return rows_.size(); }
-  bool full_rank() const noexcept { return rank() == k_; }
+  std::size_t rank() const noexcept { return rank_; }
+  bool full_rank() const noexcept { return rank_ == k_; }
+
+  // Symbols per stored row: coefficients then payload, contiguous.
+  std::size_t stride() const noexcept { return k_ + payload_len_; }
 
   // Maps an arbitrary 64-bit word to a valid payload symbol of this field.
   static value_type payload_symbol_from(std::uint64_t w) noexcept {
@@ -72,6 +95,7 @@ class DenseDecoder {
   // holds at protocol start.
   packet_type unit_packet(std::size_t i, std::span<const value_type> payload = {}) const {
     assert(i < k_);
+    assert(payload.size() <= payload_len_);
     packet_type p;
     p.coeffs.assign(k_, F::zero);
     p.coeffs[i] = F::one;
@@ -81,68 +105,92 @@ class DenseDecoder {
   }
 
   // Inserts a packet; returns true iff it increased the rank (was helpful).
+  // Payloads shorter than payload_length() are zero-padded; longer payloads
+  // are a caller bug (they used to be silently truncated).
   bool insert(const packet_type& pkt) {
     assert(pkt.coeffs.size() == k_);
-    Row row;
-    row.coeffs = pkt.coeffs;
-    row.payload = pkt.payload;
-    row.payload.resize(payload_len_, F::zero);
+    assert(pkt.payload.size() <= payload_len_);
 
-    // Forward-eliminate against stored rows.
-    for (std::size_t p = 0; p < k_; ++p) {
-      const value_type c = row.coeffs[p];
-      if (c == F::zero) continue;
-      const std::size_t ri = pivot_row_[p];
-      if (ri == npos) continue;
-      eliminate(row, rows_[ri], c);
-    }
+    // Stage the incoming row in the scratch stripe: [coeffs | payload].
+    // Over-long payloads assert above; in release they are clamped so the
+    // copy can never run past the stripe.
+    const std::size_t plen =
+        pkt.payload.size() < payload_len_ ? pkt.payload.size() : payload_len_;
+    value_type* row = scratch_.data();
+    std::copy(pkt.coeffs.begin(), pkt.coeffs.end(), row);
+    std::copy(pkt.payload.begin(), pkt.payload.begin() + plen, row + k_);
+    std::fill(row + k_ + plen, row + stride(), F::zero);
 
-    // Find the pivot of what survives.
+    // Fused forward elimination + pivot search, left to right.  Eliminating
+    // at column p uses the stored row whose pivot is p; that row is zero
+    // before p (prefix invariant), so the update never reaches back before
+    // p and a single pass suffices.  The first nonzero column without a
+    // stored pivot is final the moment we see it.
     std::size_t pivot = npos;
     for (std::size_t p = 0; p < k_; ++p) {
-      if (row.coeffs[p] != F::zero) {
-        pivot = p;
-        break;
+      const value_type c = row[p];
+      if (c == F::zero) continue;
+      const std::size_t ri = pivot_row_[p];
+      if (ri == npos) {
+        if (pivot == npos) pivot = p;
+        continue;
       }
+      // row[p..] -= c * stored[p..]  (coeff tail and payload in one axpy --
+      // the stripes are contiguous and equally laid out).
+      gf::axpy<F>(tail(row, p), ctail(row_ptr(ri), p), c);
     }
     if (pivot == npos) return false;  // linearly dependent: not helpful
 
-    // Normalize so the pivot element is 1.
-    const value_type piv_inv = F::inv(row.coeffs[pivot]);
-    gf::scale<F>(std::span<value_type>(row.coeffs), piv_inv);
-    gf::scale<F>(std::span<value_type>(row.payload), piv_inv);
-    row.pivot = pivot;
+    // Normalize so the pivot element is 1.  Everything before the pivot is
+    // already zero, so scale the tail only.
+    const value_type piv_inv = F::inv(row[pivot]);
+    gf::scale<F>(tail(row, pivot), piv_inv);
 
-    // Back-eliminate this pivot from all existing rows to keep RREF.
-    for (auto& r : rows_) {
-      const value_type c = r.coeffs[pivot];
-      if (c != F::zero) eliminate(r, row, c);
+    // Back-eliminate this pivot from all existing rows to keep RREF.  A row
+    // with a nonzero entry at `pivot` has its own pivot strictly before
+    // `pivot` (its pivot column is zero in the new row after forward
+    // elimination), so its prefix is untouched and the invariant holds.
+    for (std::size_t i = 0; i < rank_; ++i) {
+      value_type* r = row_ptr(i);
+      const value_type c = r[pivot];
+      if (c != F::zero) gf::axpy<F>(tail(r, pivot), ctail(row, pivot), c);
     }
 
-    pivot_row_[pivot] = rows_.size();
-    rows_.push_back(std::move(row));
+    // Append the reduced row to the arena (capacity reserved up front:
+    // no reallocation, no steady-state allocation).
+    pivot_row_[pivot] = rank_;
+    arena_.insert(arena_.end(), scratch_.begin(), scratch_.end());
+    ++rank_;
     return true;
   }
 
   // Emits a uniformly random linear combination of the stored equations
   // (the RLNC transmit rule).  Coefficients are i.i.d. uniform over F_q,
   // so the all-zero combination is possible, exactly as the paper assumes
-  // when it lower-bounds helpfulness by 1 - 1/q.  Returns nullopt when the
-  // node stores nothing (it has nothing to send).
+  // when it lower-bounds helpfulness by 1 - 1/q.  Returns false when the
+  // node stores nothing (it has nothing to send).  `out`'s buffers are
+  // reused: a caller that recycles the same packet allocates nothing.
   template <typename URBG>
-  std::optional<packet_type> random_combination(URBG& rng) const {
-    if (rows_.empty()) return std::nullopt;
-    packet_type out;
+  bool random_combination_into(URBG& rng, packet_type& out) const {
+    if (rank_ == 0) return false;
     out.coeffs.assign(k_, F::zero);
     out.payload.assign(payload_len_, F::zero);
-    for (const auto& r : rows_) {
-      const auto c = static_cast<value_type>(rng() % F::order);
+    for (std::size_t i = 0; i < rank_; ++i) {
+      const auto c = static_cast<value_type>(util::uniform_below(rng, F::order));
       if (c == F::zero) continue;
+      const value_type* r = row_ptr(i);
       gf::axpy<F>(std::span<value_type>(out.coeffs),
-                  std::span<const value_type>(r.coeffs), c);
+                  std::span<const value_type>(r, k_), c);
       gf::axpy<F>(std::span<value_type>(out.payload),
-                  std::span<const value_type>(r.payload), c);
+                  std::span<const value_type>(r + k_, payload_len_), c);
     }
+    return true;
+  }
+
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng) const {
+    packet_type out;
+    if (!random_combination_into(rng, out)) return std::nullopt;
     return out;
   }
 
@@ -154,20 +202,27 @@ class DenseDecoder {
   // bench E15 quantifies.  The all-zero packet is emitted when no row is
   // selected -- part of the density trade-off.
   template <typename URBG>
-  std::optional<packet_type> random_combination(URBG& rng, double density) const {
-    if (rows_.empty()) return std::nullopt;
-    packet_type out;
+  bool random_combination_into(URBG& rng, double density, packet_type& out) const {
+    if (rank_ == 0) return false;
     out.coeffs.assign(k_, F::zero);
     out.payload.assign(payload_len_, F::zero);
-    for (const auto& r : rows_) {
-      const double u = static_cast<double>(rng() >> 11) * 0x1.0p-53;
-      if (u >= density) continue;
-      const auto c = static_cast<value_type>(1 + rng() % (F::order - 1));
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (util::canonical_double(rng) >= density) continue;
+      const auto c =
+          static_cast<value_type>(1 + util::uniform_below(rng, F::order - 1));
+      const value_type* r = row_ptr(i);
       gf::axpy<F>(std::span<value_type>(out.coeffs),
-                  std::span<const value_type>(r.coeffs), c);
+                  std::span<const value_type>(r, k_), c);
       gf::axpy<F>(std::span<value_type>(out.payload),
-                  std::span<const value_type>(r.payload), c);
+                  std::span<const value_type>(r + k_, payload_len_), c);
     }
+    return true;
+  }
+
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng, double density) const {
+    packet_type out;
+    if (!random_combination_into(rng, density, out)) return std::nullopt;
     return out;
   }
 
@@ -176,12 +231,18 @@ class DenseDecoder {
   // (e.g. forwarding source packets only) would send; bench E15 shows why
   // recoding matters on multi-hop topologies.
   template <typename URBG>
+  bool random_stored_row_into(URBG& rng, packet_type& out) const {
+    if (rank_ == 0) return false;
+    const value_type* r = row_ptr(util::uniform_below(rng, rank_));
+    out.coeffs.assign(r, r + k_);
+    out.payload.assign(r + k_, r + stride());
+    return true;
+  }
+
+  template <typename URBG>
   std::optional<packet_type> random_stored_row(URBG& rng) const {
-    if (rows_.empty()) return std::nullopt;
-    const auto& r = rows_[rng() % rows_.size()];
     packet_type out;
-    out.coeffs = r.coeffs;
-    out.payload = r.payload;
+    if (!random_stored_row_into(rng, out)) return std::nullopt;
     return out;
   }
 
@@ -189,56 +250,60 @@ class DenseDecoder {
   // other's row space is not contained in ours (Definition 3: helpful node).
   bool is_helpful_node(const DenseDecoder& other) const {
     if (full_rank()) return false;
-    for (const auto& r : other.rows_) {
-      if (!contains(r.coeffs)) return true;
+    for (std::size_t i = 0; i < other.rank_; ++i) {
+      if (!contains({other.row_ptr(i), k_})) return true;
     }
     return false;
   }
 
-  // Whether `coeffs` lies in the row space of this decoder.
+  // Whether `coeffs` lies in the row space of this decoder.  Uses a reusable
+  // per-decoder scratch buffer; no allocation after the first call.
   bool contains(std::span<const value_type> coeffs) const {
     assert(coeffs.size() == k_);
-    std::vector<value_type> tmp(coeffs.begin(), coeffs.end());
+    contains_scratch_.assign(coeffs.begin(), coeffs.end());
+    value_type* tmp = contains_scratch_.data();
     for (std::size_t p = 0; p < k_; ++p) {
       const value_type c = tmp[p];
       if (c == F::zero) continue;
       const std::size_t ri = pivot_row_[p];
       if (ri == npos) return false;
-      gf::axpy<F>(std::span<value_type>(tmp),
-                  std::span<const value_type>(rows_[ri].coeffs), c);
+      // Stored row ri is zero before its pivot p: eliminate on the tail.
+      gf::axpy<F>(std::span<value_type>(tmp + p, k_ - p),
+                  std::span<const value_type>(row_ptr(ri) + p, k_ - p), c);
       // After elimination tmp[p] == 0 (pivot normalized to 1, c + c = 0).
     }
-    for (auto v : tmp)
-      if (v != F::zero) return false;
     return true;
   }
 
   // Returns message i's payload; requires full rank.
   std::span<const value_type> decoded_message(std::size_t i) const {
     assert(full_rank() && i < k_);
-    return rows_[pivot_row_[i]].payload;
+    return {row_ptr(pivot_row_[i]) + k_, payload_len_};
   }
 
  private:
-  struct Row {
-    std::vector<value_type> coeffs;
-    std::vector<value_type> payload;
-    std::size_t pivot = 0;
-  };
-
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  // target -= factor * source (characteristic 2: add == sub).
-  static void eliminate(Row& target, const Row& source, value_type factor) {
-    gf::axpy<F>(std::span<value_type>(target.coeffs),
-                std::span<const value_type>(source.coeffs), factor);
-    gf::axpy<F>(std::span<value_type>(target.payload),
-                std::span<const value_type>(source.payload), factor);
+  value_type* row_ptr(std::size_t i) noexcept { return arena_.data() + i * stride(); }
+  const value_type* row_ptr(std::size_t i) const noexcept {
+    return arena_.data() + i * stride();
+  }
+
+  // The [p, stride) tail of a row stripe: coefficient columns p..k plus the
+  // payload, one contiguous span.
+  std::span<value_type> tail(value_type* row, std::size_t p) const noexcept {
+    return {row + p, stride() - p};
+  }
+  std::span<const value_type> ctail(const value_type* row, std::size_t p) const noexcept {
+    return {row + p, stride() - p};
   }
 
   std::size_t k_;
   std::size_t payload_len_;
-  std::vector<Row> rows_;
+  std::size_t rank_ = 0;
+  std::vector<value_type> arena_;       // rank_ stripes of stride() symbols
+  std::vector<value_type> scratch_;     // staging stripe for insert()
+  mutable std::vector<value_type> contains_scratch_;  // k_ symbols
   std::vector<std::size_t> pivot_row_;  // pivot column -> row index, npos if none
 };
 

@@ -8,6 +8,14 @@
 // asynchronous model messages are applied immediately (one transaction per
 // timeslot, nothing else is concurrent).
 //
+// Allocation behaviour: the inbox is a slot pool.  Buffered envelopes are
+// never destroyed at the barrier -- only a cursor is reset -- so a message
+// type with heap buffers (coded packets) reuses its capacity round after
+// round, and the synchronous path performs zero steady-state allocations.
+// The asynchronous path delivers by const reference without any copy at
+// all, which is what lets protocols send from reusable scratch packets.
+// Derived classes implement `deliver(NodeId from, NodeId to, const Msg&)`.
+//
 // The optional per-round same-sender filter implements the simplifying
 // assumption in the proof of Theorem 1: "if a node receives 2 messages from
 // the same node at the same round, it will discard the second one".  It is
@@ -49,49 +57,83 @@ class Mailbox {
   }
 
  protected:
-  void send(NodeId from, NodeId to, Msg msg) {
+  // Send from a caller-owned buffer the caller may reuse afterwards.
+  // Asynchronous: delivered in place, no copy.  Synchronous: copy-assigned
+  // into a pooled envelope slot (vector capacity inside Msg is reused).
+  void send(NodeId from, NodeId to, const Msg& msg) {
     ++messages_sent_;
-    if (drop_probability_ > 0.0 && drop_rng_.bernoulli(drop_probability_)) {
-      ++messages_dropped_;
-      return;
-    }
+    if (dropped()) return;
     if (tm_ == TimeModel::Synchronous) {
-      inbox_.push_back(Envelope{from, to, std::move(msg)});
+      Envelope& e = next_slot();
+      e.from = from;
+      e.to = to;
+      e.msg = msg;
     } else {
-      static_cast<Derived*>(this)->deliver(from, to, std::move(msg));
+      static_cast<Derived*>(this)->deliver(from, to, msg);
+    }
+  }
+
+  // Rvalue variant for callers handing over ownership.
+  void send(NodeId from, NodeId to, Msg&& msg) {
+    ++messages_sent_;
+    if (dropped()) return;
+    if (tm_ == TimeModel::Synchronous) {
+      Envelope& e = next_slot();
+      e.from = from;
+      e.to = to;
+      e.msg = std::move(msg);
+    } else {
+      static_cast<Derived*>(this)->deliver(from, to, msg);
     }
   }
 
   // Called at the synchronous round barrier; applies buffered messages in
-  // send order.  No-op under the asynchronous model.
+  // send order.  No-op under the asynchronous model.  Envelope slots are
+  // kept alive (cursor reset only) so their buffers are reused next round.
   void flush_inbox() {
-    if (inbox_.empty()) return;
+    if (inbox_used_ == 0) return;
     if (discard_same_sender_) {
       seen_pairs_.clear();
-      for (auto& e : inbox_) {
+      for (std::size_t i = 0; i < inbox_used_; ++i) {
+        const Envelope& e = inbox_[i];
         const std::uint64_t key =
             (static_cast<std::uint64_t>(e.from) << 32) | e.to;
         if (!seen_pairs_.insert(key).second) continue;
-        static_cast<Derived*>(this)->deliver(e.from, e.to, std::move(e.msg));
+        static_cast<Derived*>(this)->deliver(e.from, e.to, e.msg);
       }
     } else {
-      for (auto& e : inbox_) {
-        static_cast<Derived*>(this)->deliver(e.from, e.to, std::move(e.msg));
+      for (std::size_t i = 0; i < inbox_used_; ++i) {
+        const Envelope& e = inbox_[i];
+        static_cast<Derived*>(this)->deliver(e.from, e.to, e.msg);
       }
     }
-    inbox_.clear();
+    inbox_used_ = 0;
   }
 
  private:
   struct Envelope {
-    NodeId from;
-    NodeId to;
-    Msg msg;
+    NodeId from = 0;
+    NodeId to = 0;
+    Msg msg{};
   };
+
+  bool dropped() {
+    if (drop_probability_ > 0.0 && drop_rng_.bernoulli(drop_probability_)) {
+      ++messages_dropped_;
+      return true;
+    }
+    return false;
+  }
+
+  Envelope& next_slot() {
+    if (inbox_used_ == inbox_.size()) inbox_.emplace_back();
+    return inbox_[inbox_used_++];
+  }
 
   TimeModel tm_;
   bool discard_same_sender_;
-  std::vector<Envelope> inbox_;
+  std::vector<Envelope> inbox_;  // slot pool; first inbox_used_ are live
+  std::size_t inbox_used_ = 0;
   std::unordered_set<std::uint64_t> seen_pairs_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/urbg.hpp"
+
 namespace ag::sim {
 
 namespace detail {
@@ -51,14 +53,11 @@ class Rng {
     return result;
   }
 
-  // Unbiased uniform integer in [0, n) via rejection sampling.
-  std::uint64_t uniform(std::uint64_t n) noexcept {
-    if (n == 0) return 0;
-    const std::uint64_t limit = max() - max() % n;
-    std::uint64_t x = operator()();
-    while (x >= limit) x = operator()();
-    return x % n;
-  }
+  // Unbiased uniform integer in [0, n) via rejection sampling.  Shares the
+  // generic implementation with the decoders (util::uniform_below), which
+  // reproduces this generator's historical stream exactly: one 64-bit draw
+  // per attempt, reject above max() - max() % n, then reduce.
+  std::uint64_t uniform(std::uint64_t n) noexcept { return util::uniform_below(*this, n); }
 
   // Uniform double in [0, 1).
   double uniform01() noexcept {

@@ -1,0 +1,100 @@
+// Generic helpers over any UniformRandomBitGenerator.
+//
+// The decoders are templates over URBG, so they must not assume a 64-bit
+// generator: `rng() >> 11` is uniform on [0, 2^53) only when rng() yields 64
+// random bits, and `rng() % n` is modulo-biased for every n that does not
+// divide the generator's range.  These helpers honor URBG::min()/max() and
+// are shared by sim::Rng (whose bounded sampler keeps its historical stream
+// for 64-bit draws) and the linalg decoders.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ag::util {
+
+namespace detail {
+
+// Number of uniform low-order bits a single accepted draw can contribute:
+// the largest b with 2^b <= (max - min + 1).  64 for a full-range 64-bit
+// generator, 32 for std::mt19937, 30 for minstd_rand (whose 2^31 - 2
+// values cover only 30 full bit-blocks), and so on.
+template <typename URBG>
+constexpr unsigned urbg_bits_per_call() {
+  constexpr std::uint64_t range =
+      static_cast<std::uint64_t>(URBG::max()) - static_cast<std::uint64_t>(URBG::min());
+  if (range == std::numeric_limits<std::uint64_t>::max()) return 64;
+  unsigned b = 0;
+  while (b < 64 && (range + 1) >> (b + 1) != 0) ++b;
+  return b;
+}
+
+// One draw reduced to exactly urbg_bits_per_call() uniform bits.  When the
+// generator's value count is not a power of two, draws landing in the top
+// partial block are rejected so the kept bits stay exactly uniform.
+template <typename URBG>
+inline std::uint64_t draw_bits(URBG& rng) {
+  constexpr unsigned bits = urbg_bits_per_call<URBG>();
+  constexpr std::uint64_t min = static_cast<std::uint64_t>(URBG::min());
+  constexpr std::uint64_t range =
+      static_cast<std::uint64_t>(URBG::max()) - min;
+  if constexpr (bits == 64) {
+    return static_cast<std::uint64_t>(rng()) - min;
+  } else {
+    constexpr std::uint64_t block = std::uint64_t{1} << bits;
+    if constexpr (range + 1 == block) {
+      return static_cast<std::uint64_t>(rng()) - min;
+    } else {
+      std::uint64_t x = static_cast<std::uint64_t>(rng()) - min;
+      while (x >= block) x = static_cast<std::uint64_t>(rng()) - min;
+      return x;
+    }
+  }
+}
+
+}  // namespace detail
+
+// `want` (1..64) uniform random bits, taken from as few generator calls as
+// the generator's width allows.  For a 64-bit generator and want < 64 the
+// *high* bits of a single draw are used, matching the conventional
+// `rng() >> (64 - want)` mapping (and sim::Rng::uniform01's stream).
+template <typename URBG>
+inline std::uint64_t random_bits(URBG& rng, unsigned want) {
+  constexpr unsigned per = detail::urbg_bits_per_call<URBG>();
+  static_assert(per >= 1, "URBG yields no random bits");
+  if constexpr (per >= 64) {
+    const std::uint64_t x = detail::draw_bits(rng);
+    return want >= 64 ? x : x >> (64u - want);
+  } else {
+    std::uint64_t acc = detail::draw_bits(rng);
+    unsigned have = per;
+    while (have < want) {
+      acc = (acc << per) | detail::draw_bits(rng);
+      // A 64-bit accumulator holds at most 64 useful bits; anything shifted
+      // past the top is discarded (still uniform, just unused).
+      have = have + per > 64 ? 64 : have + per;
+    }
+    return have > want ? acc >> (have - want) : acc;
+  }
+}
+
+// Uniform double in [0, 1) with 53 random mantissa bits.
+template <typename URBG>
+inline double canonical_double(URBG& rng) {
+  return static_cast<double>(random_bits(rng, 53)) * 0x1.0p-53;
+}
+
+// Unbiased uniform integer in [0, n) via rejection sampling on a 64-bit
+// word.  For a full-range 64-bit generator this consumes exactly one call
+// per attempt and reproduces sim::Rng::uniform's historical stream.
+template <typename URBG>
+inline std::uint64_t uniform_below(URBG& rng, std::uint64_t n) {
+  if (n == 0) return 0;
+  constexpr std::uint64_t word_max = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t limit = word_max - word_max % n;
+  std::uint64_t x = random_bits(rng, 64);
+  while (x >= limit) x = random_bits(rng, 64);
+  return x % n;
+}
+
+}  // namespace ag::util

@@ -130,6 +130,46 @@ TEST(GF65536Test, GeneratorOrderIsFull) {
   }
 }
 
+// --- Division/inversion zero contract (GF2m) --------------------------------
+//
+// div(a, 0) and inv(0) are undefined: debug builds assert, and the defined
+// remainder of the domain must satisfy the field axioms including every
+// zero-operand case that IS defined.
+template <typename F>
+class GF2mZeroContractTest : public ::testing::Test {};
+
+using TableFields = ::testing::Types<GF16, GF256, GF65536>;
+TYPED_TEST_SUITE(GF2mZeroContractTest, TableFields);
+
+TYPED_TEST(GF2mZeroContractTest, ZeroNumeratorAndInverseRoundTrips) {
+  using F = TypeParam;
+  // Exhaustive over nonzero b (65535 iterations for GF(2^16) is cheap).
+  for (std::uint32_t b = 1; b < F::order; ++b) {
+    const auto vb = static_cast<typename F::value_type>(b);
+    EXPECT_EQ(F::div(F::zero, vb), F::zero);
+    EXPECT_EQ(F::inv(F::inv(vb)), vb);
+    EXPECT_EQ(F::div(vb, F::one), vb);
+  }
+}
+
+TYPED_TEST(GF2mZeroContractTest, DivisionAgreesWithMultiplyByInverse) {
+  using F = TypeParam;
+  ag::sim::Rng rng(17);
+  for (int i = 0; i < 4000; ++i) {
+    const auto a = static_cast<typename F::value_type>(rng.uniform(F::order));
+    const auto b =
+        static_cast<typename F::value_type>(1 + rng.uniform(F::order - 1));
+    EXPECT_EQ(F::div(a, b), F::mul(a, F::inv(b)));
+    EXPECT_EQ(F::mul(F::div(a, b), b), a);
+  }
+}
+
+TYPED_TEST(GF2mZeroContractTest, UndefinedZeroCasesAssertInDebug) {
+  using F = TypeParam;
+  EXPECT_DEBUG_DEATH((void)F::inv(F::zero), "zero has no multiplicative inverse");
+  EXPECT_DEBUG_DEATH((void)F::div(F::one, F::zero), "division by zero");
+}
+
 TEST(BulkOpsTest, AxpyMatchesScalarLoop) {
   ag::sim::Rng rng(3);
   std::vector<std::uint8_t> dst(257), src(257), expect(257);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <random>
 #include <vector>
 
 #include "core/decoders.hpp"
@@ -204,6 +205,122 @@ TEST(BitDecoderTest, RandomCombinationStaysInRowSpace) {
     ASSERT_TRUE(pkt.has_value());
     EXPECT_TRUE(d.contains(pkt->coeffs));
   }
+}
+
+TEST(DenseDecoderTest, IntoVariantsMatchOptionalVariantsAndReuseBuffers) {
+  // The *_into builders must consume the same randomness and produce the
+  // same packets as the optional-returning wrappers, and must be callable
+  // repeatedly into one reused packet.
+  ag::sim::Rng r1(303), r2(303);
+  DenseDecoder<GF256> d(9, 4);
+  for (std::size_t i : {0u, 2u, 5u, 8u}) {
+    d.insert(d.unit_packet(i, std::vector<std::uint8_t>(4, static_cast<std::uint8_t>(i + 1))));
+  }
+  DenseDecoder<GF256>::packet_type reused;
+  for (int t = 0; t < 50; ++t) {
+    const auto opt = d.random_combination(r1);
+    ASSERT_TRUE(d.random_combination_into(r2, reused));
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_EQ(opt->coeffs, reused.coeffs);
+    EXPECT_EQ(opt->payload, reused.payload);
+  }
+  for (int t = 0; t < 20; ++t) {
+    const auto opt = d.random_combination(r1, 0.4);
+    ASSERT_TRUE(d.random_combination_into(r2, 0.4, reused));
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_EQ(opt->coeffs, reused.coeffs);
+    EXPECT_EQ(opt->payload, reused.payload);
+  }
+  for (int t = 0; t < 20; ++t) {
+    const auto opt = d.random_stored_row(r1);
+    ASSERT_TRUE(d.random_stored_row_into(r2, reused));
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_EQ(opt->coeffs, reused.coeffs);
+    EXPECT_EQ(opt->payload, reused.payload);
+  }
+  // Empty decoder: the into-variants must report nothing to send.
+  DenseDecoder<GF256> empty(4, 0);
+  EXPECT_FALSE(empty.random_combination_into(r2, reused));
+  EXPECT_FALSE(empty.random_stored_row_into(r2, reused));
+}
+
+TEST(BitDecoderTest, IntoVariantsMatchOptionalVariants) {
+  ag::sim::Rng r1(404), r2(404);
+  BitDecoder d(70, 2);
+  for (std::size_t i = 0; i < 70; i += 3) {
+    d.insert(d.unit_packet(i, std::vector<std::uint64_t>{i, i + 1}));
+  }
+  BitDecoder::packet_type reused;
+  for (int t = 0; t < 50; ++t) {
+    const auto opt = d.random_combination(r1);
+    ASSERT_TRUE(d.random_combination_into(r2, reused));
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_EQ(opt->coeffs, reused.coeffs);
+    EXPECT_EQ(opt->payload, reused.payload);
+  }
+}
+
+// The decoders are templates over URBG and must honor the generator's width:
+// a 32-bit std::mt19937 must drive every transmit rule correctly (the old
+// `rng() >> 11` density sampler and 64-bit bit-harvest assumed 64-bit draws).
+TEST(DenseDecoderTest, DecodesWith32BitGenerator) {
+  std::mt19937 rng(2024);
+  const std::size_t k = 12, r = 2;
+  DenseDecoder<GF256> src(k, r), dst(k, r), sparse_dst(k, r);
+  for (std::size_t i = 0; i < k; ++i) {
+    src.insert(src.unit_packet(i, std::vector<std::uint8_t>(r, static_cast<std::uint8_t>(i))));
+  }
+  int guard = 0;
+  while (!dst.full_rank() && guard++ < 2000) {
+    const auto p = src.random_combination(rng);
+    if (p) dst.insert(*p);
+  }
+  ASSERT_TRUE(dst.full_rank());
+  guard = 0;
+  while (!sparse_dst.full_rank() && guard++ < 4000) {
+    const auto p = src.random_combination(rng, 0.5);
+    if (p) sparse_dst.insert(*p);
+  }
+  ASSERT_TRUE(sparse_dst.full_rank());
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(dst.decoded_message(i)[0], static_cast<std::uint8_t>(i));
+    EXPECT_EQ(sparse_dst.decoded_message(i)[0], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(BitDecoderTest, DecodesWith32BitGenerator) {
+  std::mt19937 rng(4048);
+  const std::size_t k = 80;
+  BitDecoder src(k, 1), dst(k, 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    src.insert(src.unit_packet(i, std::vector<std::uint64_t>{i * 7}));
+  }
+  int guard = 0;
+  while (!dst.full_rank() && guard++ < 4000) {
+    const auto p = src.random_combination(rng);
+    if (p) dst.insert(*p);
+  }
+  ASSERT_TRUE(dst.full_rank());
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(dst.decoded_message(i)[0], i * 7);
+}
+
+TEST(DenseDecoderTest, SparseDensitySamplerSelectsAtTheRequestedRate) {
+  // Regression for the URBG-width/density bug: with density 0.5 over a
+  // full-rank GF(2) dense decoder, each row joins with probability 1/2, so
+  // the mean number of nonzero coefficients per packet must be ~k/2.
+  ag::sim::Rng rng(606);
+  const std::size_t k = 32;
+  DenseDecoder<GF2> d(k, 0);
+  for (std::size_t i = 0; i < k; ++i) d.insert(d.unit_packet(i));
+  std::uint64_t nonzero = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const auto p = d.random_combination(rng, 0.5);
+    ASSERT_TRUE(p.has_value());
+    for (auto c : p->coeffs) nonzero += c != 0;
+  }
+  const double mean = static_cast<double>(nonzero) / trials;
+  EXPECT_NEAR(mean, k / 2.0, 1.0);
 }
 
 TEST(FMatrixTest, RrefOfIdentityIsIdentityAndSolvesSystems) {

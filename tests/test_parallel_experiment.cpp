@@ -1,0 +1,137 @@
+// Parallel experiment-runner tests: parallel_stopping_rounds must return a
+// vector byte-identical to the serial stopping_rounds for the same
+// (seed, runs) at every thread count -- run r is fully determined by
+// sim::Rng::for_run(seed, r), whichever worker executes it.  Also covers
+// worker-count resolution and exception propagation out of the pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/fixed_tree_ag.hpp"
+#include "core/parallel_experiment.hpp"
+#include "core/stp_policies.hpp"
+#include "core/tag.hpp"
+#include "core/uncoded_gossip.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ag;
+using namespace ag::core;
+
+// Asserts serial == parallel element-wise for several thread counts,
+// including counts above the run count (clamped) and 1 (serial fallback).
+template <typename MakeProto>
+void expect_parallel_matches_serial(MakeProto&& make, std::size_t runs,
+                                    std::uint64_t seed, std::uint64_t max_rounds) {
+  const auto serial = stopping_rounds(make, runs, seed, max_rounds);
+  ASSERT_EQ(serial.size(), runs);
+  for (const std::size_t threads : {1u, 2u, 3u, 8u, 64u}) {
+    const auto parallel = parallel_stopping_rounds(make, runs, seed, max_rounds, threads);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelExperimentTest, MatchesSerialForUniformAgBothTimeModels) {
+  const auto g = graph::make_erdos_renyi(24, 0.3, 5);
+  for (const auto tm : {sim::TimeModel::Synchronous, sim::TimeModel::Asynchronous}) {
+    expect_parallel_matches_serial(
+        [&](sim::Rng& rng) {
+          const auto placement = uniform_distinct(8, 24, rng);
+          AgConfig cfg;
+          cfg.time_model = tm;
+          return UniformAG<Gf2Decoder>(g, placement, cfg);
+        },
+        12, 42 + static_cast<std::uint64_t>(tm), 100000);
+  }
+}
+
+TEST(ParallelExperimentTest, MatchesSerialForFixedTreeAgGf256) {
+  const auto g = graph::make_barbell(20);
+  const auto tree = graph::bfs_tree(g, 0);
+  expect_parallel_matches_serial(
+      [&](sim::Rng& rng) {
+        const auto placement = uniform_distinct(6, 20, rng);
+        AgConfig cfg;
+        cfg.payload_len = 2;
+        return FixedTreeAG<Gf256Decoder>(tree, placement, cfg);
+      },
+      10, 7, 100000);
+}
+
+TEST(ParallelExperimentTest, MatchesSerialForTagWithBroadcastTree) {
+  const auto g = graph::make_barbell(16);
+  expect_parallel_matches_serial(
+      [&](sim::Rng& rng) {
+        const auto placement = uniform_distinct(5, 16, rng);
+        AgConfig cfg;
+        BroadcastStpConfig stp;
+        return Tag<Gf256Decoder, BroadcastStpPolicy>(g, placement, cfg, stp, rng);
+      },
+      8, 11, 100000);
+}
+
+TEST(ParallelExperimentTest, MatchesSerialForUncodedGossip) {
+  const auto g = graph::make_complete(18);
+  expect_parallel_matches_serial(
+      [&](sim::Rng& rng) {
+        const auto placement = uniform_distinct(9, 18, rng);
+        UncodedConfig cfg;
+        return UncodedGossip(g, placement, cfg);
+      },
+      16, 3, 100000);
+}
+
+TEST(ParallelExperimentTest, ZeroAndSingleRunEdgeCases) {
+  const auto g = graph::make_complete(6);
+  auto make = [&](sim::Rng& rng) {
+    const auto placement = uniform_distinct(3, 6, rng);
+    AgConfig cfg;
+    return UniformAG<Gf2Decoder>(g, placement, cfg);
+  };
+  EXPECT_TRUE(parallel_stopping_rounds(make, 0, 1, 1000, 4).empty());
+  EXPECT_EQ(parallel_stopping_rounds(make, 1, 1, 1000, 4),
+            stopping_rounds(make, 1, 1, 1000));
+}
+
+TEST(ParallelExperimentTest, BudgetExhaustionThrowsLikeSerial) {
+  const auto g = graph::make_barbell(24);
+  auto make = [&](sim::Rng& rng) {
+    const auto placement = uniform_distinct(12, 24, rng);
+    AgConfig cfg;
+    return UniformAG<Gf2Decoder>(g, placement, cfg);
+  };
+  // A 1-round budget is unfinishable on a barbell: both runners must throw.
+  EXPECT_THROW(stopping_rounds(make, 4, 1, 1), std::runtime_error);
+  EXPECT_THROW(parallel_stopping_rounds(make, 4, 1, 1, 3), std::runtime_error);
+}
+
+TEST(ParallelExperimentTest, ParallelForIndexRunsEveryIndexExactlyOnce) {
+  const std::size_t count = 1000;
+  std::vector<std::atomic<int>> hits(count);
+  parallel_for_index(count, 7, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelExperimentTest, ResolveThreadsPrecedence) {
+  // Explicit count always wins.
+  EXPECT_EQ(resolve_threads(5), 5u);
+  // 0 defers to AG_THREADS when set...
+  ::setenv("AG_THREADS", "3", 1);
+  EXPECT_EQ(resolve_threads(0), 3u);
+  // ... and to hardware concurrency (>= 1) otherwise.
+  ::unsetenv("AG_THREADS");
+  EXPECT_GE(resolve_threads(0), 1u);
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <random>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -14,6 +15,7 @@
 #include "sim/partner.hpp"
 #include "sim/rng.hpp"
 #include "sim/time_model.hpp"
+#include "util/urbg.hpp"
 
 namespace {
 
@@ -73,6 +75,58 @@ TEST(RngTest, Uniform01InHalfOpenRange) {
     const double u = rng.uniform01();
     EXPECT_GE(u, 0.0);
     EXPECT_LT(u, 1.0);
+  }
+}
+
+// --- Generic URBG helpers (util/urbg.hpp) -----------------------------------
+
+TEST(UrbgUtilTest, UniformBelowMatchesRngUniformStream) {
+  // sim::Rng::uniform delegates to util::uniform_below; the two must consume
+  // and produce identical streams.
+  sim::Rng a(77), b(77);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t n = 1 + i % 97;
+    EXPECT_EQ(a.uniform(n), ag::util::uniform_below(b, n));
+  }
+}
+
+TEST(UrbgUtilTest, CanonicalDoubleHonors32BitGenerators) {
+  // mt19937 yields 32 random bits per call; the canonical double must still
+  // fill all 53 mantissa bits (the old `rng() >> 11` recipe would have left
+  // the result stuck below 2^-21).
+  std::mt19937 rng(123);
+  double max_seen = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = ag::util::canonical_double(rng);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    max_seen = std::max(max_seen, u);
+  }
+  EXPECT_GT(max_seen, 0.99);  // would be <= 2^-21 under the old recipe
+}
+
+TEST(UrbgUtilTest, UniformBelowIsUnbiasedForNarrowGenerators) {
+  // minstd_rand has a non-power-of-two range (2^31 - 2 values): the sampler
+  // must stay in range and roughly uniform, which plain modulo would not.
+  std::minstd_rand rng(5);
+  std::array<int, 6> counts{};
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    const auto x = ag::util::uniform_below(rng, 6);
+    ASSERT_LT(x, 6u);
+    counts[static_cast<std::size_t>(x)]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, trials / 6, trials / 6 * 0.1);
+}
+
+TEST(UrbgUtilTest, RandomBitsCoversRequestedWidth) {
+  std::mt19937 rng(9);  // 32-bit generator: 64-bit requests need two draws
+  std::uint64_t seen_or = 0;
+  for (int i = 0; i < 256; ++i) seen_or |= ag::util::random_bits(rng, 64);
+  // Every bit position should be hit at least once across 256 words.
+  EXPECT_EQ(seen_or, ~std::uint64_t{0});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(ag::util::random_bits(rng, 7), 128u);
   }
 }
 
@@ -142,7 +196,7 @@ struct TokenRelay : sim::Mailbox<TokenRelay, int> {
   }
   void end_round() { flush_inbox(); }
 
-  void deliver(NodeId, NodeId to, int&&) { has_[to] = 1; }
+  void deliver(NodeId, NodeId to, const int&) { has_[to] = 1; }
 
   std::size_t n_;
   std::vector<char> has_;
@@ -235,7 +289,7 @@ struct MultiSend : sim::Mailbox<MultiSend, int> {
     flush_inbox();
     done = true;
   }
-  void deliver(NodeId, NodeId, int&&) { ++received; }
+  void deliver(NodeId, NodeId, const int&) { ++received; }
 
   int received = 0;
   bool done = false;
@@ -257,6 +311,76 @@ TEST(MailboxTest, MessageCountTracksSends) {
   MultiSend p(false);
   sim::run(p, rng, 2);
   EXPECT_EQ(p.messages_sent(), 4u);
+}
+
+// --- Async round accounting --------------------------------------------------
+
+// Finishes after exactly `target` activations (= timeslots in the async
+// model), so the expected slot/round bookkeeping is known in closed form.
+struct SlotCounter {
+  std::size_t n;
+  std::uint64_t target;
+  std::uint64_t acts = 0;
+  std::uint64_t barriers = 0;
+  std::size_t node_count() const { return n; }
+  sim::TimeModel time_model() const { return sim::TimeModel::Asynchronous; }
+  void on_activate(NodeId, sim::Rng&) { ++acts; }
+  void end_round() { ++barriers; }
+  bool finished() const { return acts >= target; }
+};
+
+TEST(EngineTest, AsyncAccountingAtExactRoundBoundary) {
+  // Finishing on slot 2n exactly: rounds must be 2 (not 3 -- the ceiling
+  // must not round an exact boundary up) and the barrier must have fired.
+  const std::size_t n = 8;
+  SlotCounter p{n, 2 * n};
+  sim::Rng rng(3);
+  const auto res = sim::run(p, rng, 100);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.timeslots, 2 * n);
+  EXPECT_EQ(res.rounds, 2u);
+  EXPECT_EQ(p.barriers, 2u);
+}
+
+TEST(EngineTest, AsyncAccountingCeilsMidRoundFinish) {
+  // Finishing one slot into round 3 (slot 2n + 1): rounds == 3, and only two
+  // barriers have fired (the third round is partial).
+  const std::size_t n = 8;
+  SlotCounter p{n, 2 * n + 1};
+  sim::Rng rng(4);
+  const auto res = sim::run(p, rng, 100);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.timeslots, 2 * n + 1);
+  EXPECT_EQ(res.rounds, 3u);
+  EXPECT_EQ(p.barriers, 2u);
+}
+
+TEST(EngineTest, AsyncBudgetExhaustionCountsFullBudget) {
+  const std::size_t n = 4;
+  SlotCounter p{n, 1000000};  // never finishes in budget
+  sim::Rng rng(5);
+  const auto res = sim::run(p, rng, 7);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.rounds, 7u);
+  EXPECT_EQ(res.timeslots, 7u * n);
+  EXPECT_EQ(p.barriers, 7u);
+}
+
+TEST(EngineTest, RunAndRunTracedAgreeInBothTimeModels) {
+  for (const auto tm : {sim::TimeModel::Synchronous, sim::TimeModel::Asynchronous}) {
+    sim::Rng r1(42), r2(42);
+    TokenRelay a(6, tm, 4), b(6, tm, 4);
+    const auto plain = sim::run(a, r1, 500);
+    std::vector<std::uint64_t> trace;
+    const auto traced =
+        sim::run_traced(b, r2, 500, [&](std::uint64_t round) { trace.push_back(round); });
+    EXPECT_EQ(plain.completed, traced.completed);
+    EXPECT_EQ(plain.rounds, traced.rounds);
+    EXPECT_EQ(plain.timeslots, traced.timeslots);
+    // The observer fires once per completed barrier, with 1-based indices.
+    ASSERT_EQ(trace.size(), traced.timeslots / 6u);
+    for (std::size_t i = 0; i < trace.size(); ++i) EXPECT_EQ(trace[i], i + 1);
+  }
 }
 
 }  // namespace
