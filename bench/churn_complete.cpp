@@ -1,0 +1,109 @@
+// E17 -- node churn on the complete graph (extension: dynamic membership).
+//
+// Nodes leave and rejoin; a rejoining node has lost all received coded
+// state and restarts from its initially owned messages.  RLNC absorbs this
+// gracefully: any stream of coded packets re-covers the lost dimensions, so
+// the stopping time inflates smoothly with the churn rate.  The uncoded
+// baseline must re-collect exact coupons it already paid for, so its
+// inflation is at least as bad on top of an already slower baseline.
+//
+// Churn runs for a finite window (then the network heals) so every run
+// terminates; within the window roughly leave_p * n nodes flap per round.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/uncoded_gossip.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/topology.hpp"
+
+int main() {
+  using namespace ag;
+  agbench::print_header(
+      "E17 | churn on the complete graph (extension; dynamic membership)",
+      "RLNC degrades smoothly with churn rate; completion and decode "
+      "correctness survive nodes flapping with full state loss");
+
+  const double sc = agbench::scale();
+  const std::size_t n = std::max<std::size_t>(16, static_cast<std::size_t>(32 * sc));
+  const std::size_t k = n / 2;
+  const auto g = graph::make_complete(n);
+
+  auto make_churn = [&](double leave_p, std::uint64_t seed) {
+    sim::ChurnConfig cc;
+    cc.leave_probability = leave_p;
+    cc.rejoin_probability = 0.25;
+    cc.stop_round = 16 * n;  // finite window; rejoins heal afterwards
+    cc.seed = seed;
+    return cc;
+  };
+
+  agbench::Table table({"leave p/round", "uniform AG", "AG ratio vs 0", "uncoded",
+                        "uncoded ratio"});
+  const double window = 16.0 * static_cast<double>(n);  // = ChurnConfig.stop_round
+  double base_ag = 0, base_un = 0;
+  bool ok = true;
+  for (const double p : {0.0, 0.01, 0.03, 0.06}) {
+    const auto ag_rounds = agbench::stopping_rounds(
+        [&](sim::Rng& rng) {
+          const auto pl = core::uniform_distinct(k, n, rng);
+          core::AgConfig cfg;
+          return core::UniformAG<core::Gf2Decoder>(
+              std::make_unique<sim::ChurnTopology>(g, make_churn(p, rng())), pl, cfg);
+        },
+        agbench::seeds(), 1701, 10000000);
+    const auto un_rounds = agbench::stopping_rounds(
+        [&](sim::Rng& rng) {
+          const auto pl = core::uniform_distinct(k, n, rng);
+          core::UncodedConfig cfg;
+          return core::UncodedGossip(
+              std::make_unique<sim::ChurnTopology>(g, make_churn(p, rng())), pl, cfg);
+        },
+        agbench::seeds(), 1702, 10000000);
+    const double m_ag = agbench::mean(ag_rounds);
+    const double m_un = agbench::mean(un_rounds);
+    if (p == 0.0) {
+      base_ag = m_ag;
+      base_un = m_un;
+    }
+    // Two regimes: at low rates the coded protocol absorbs churn within a
+    // small factor of the churn-free baseline; at high rates completion is
+    // gated by the churn window itself (someone is always re-collecting
+    // while nodes flap), after which the healed network finishes within a
+    // short tail.  Assert both bounds.
+    if (p <= 0.011 && m_ag > 8.0 * base_ag) ok = false;
+    if (m_ag > window + 10.0 * base_ag) ok = false;
+    table.add_row({agbench::fmt(p, 2), agbench::fmt(m_ag),
+                   agbench::fmt(m_ag / base_ag, 2), agbench::fmt(m_un),
+                   agbench::fmt(m_un / base_un, 2)});
+  }
+  table.print();
+
+  // Decode correctness under churn: every node must decode every payload
+  // after a run with state resets.
+  sim::Rng rng(1703);
+  const auto pl = core::uniform_distinct(k, n, rng);
+  core::AgConfig cfg;
+  cfg.payload_len = 4;
+  core::UniformAG<core::Gf256Decoder> proto(
+      std::make_unique<sim::ChurnTopology>(g, make_churn(0.03, rng())), pl, cfg);
+  const auto res = sim::run(proto, rng, 10000000);
+  std::size_t bad = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!proto.swarm().decodes_correctly(v, i)) ++bad;
+    }
+  }
+  std::printf("\ndecode after churn: %s (completed=%d, %zu pairs)\n",
+              bad == 0 ? "OK" : "FAILED", res.completed ? 1 : 0, n * k);
+  agbench::verdict(ok && bad == 0 && res.completed,
+                   "low churn costs a small constant factor, heavy churn is "
+                   "bounded by the churn window + a short healing tail, and "
+                   "every payload decodes after nodes flap with full state loss");
+  return 0;
+}

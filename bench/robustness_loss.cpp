@@ -1,13 +1,16 @@
 // E10 -- failure-injection ablation (extension beyond the paper's model).
 //
 // The paper assumes reliable links.  Here every transmitted message is lost
-// independently with probability p.  RLNC's promise is graceful degradation:
-// any surviving coded packet is as good as any other, so the stopping time
-// should scale like ~1/(1-p); the uncoded baseline additionally re-loses
-// specific blocks it already paid coupon-collector time for.  TAG inherits
-// the same robustness because Phase 1 keeps re-broadcasting and Phase 2 is
-// plain RLNC on the tree.
+// independently with probability p, injected through the sim::Channel loss
+// model (the hand-rolled per-bench injection this harness used to carry is
+// gone; the same channel drives the per-edge scenarios in E16).  RLNC's
+// promise is graceful degradation: any surviving coded packet is as good as
+// any other, so the stopping time should scale like ~1/(1-p); the uncoded
+// baseline additionally re-loses specific blocks it already paid
+// coupon-collector time for.  TAG inherits the same robustness because
+// Phase 1 keeps re-broadcasting and Phase 2 is plain RLNC on the tree.
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -19,6 +22,7 @@
 #include "core/uncoded_gossip.hpp"
 #include "core/uniform_ag.hpp"
 #include "graph/generators.hpp"
+#include "sim/channel.hpp"
 #include "sim/engine.hpp"
 
 int main() {
@@ -39,27 +43,27 @@ int main() {
     const auto ag_rounds = agbench::stopping_rounds(
         [&](sim::Rng& rng) {
           const auto placement = core::uniform_distinct(k, n, rng);
-          core::AgConfig cfg;
-          cfg.drop_probability = p;
-          return core::UniformAG<core::Gf2Decoder>(g, placement, cfg);
+          core::UniformAG<core::Gf2Decoder> proto(g, placement, core::AgConfig{});
+          proto.set_channel(sim::Channel::lossy(p, rng()));
+          return proto;
         },
         agbench::seeds(), 1401, 10000000);
     const auto tag_rounds = agbench::stopping_rounds(
         [&](sim::Rng& rng) {
           const auto placement = core::uniform_distinct(k, n, rng);
-          core::AgConfig cfg;
-          cfg.drop_probability = p;
           core::BroadcastStpConfig stp;
-          return core::Tag<core::Gf2Decoder, core::BroadcastStpPolicy>(g, placement,
-                                                                       cfg, stp, rng);
+          core::Tag<core::Gf2Decoder, core::BroadcastStpPolicy> proto(
+              g, placement, core::AgConfig{}, stp, rng);
+          proto.set_channel(sim::Channel::lossy(p, rng()));
+          return proto;
         },
         agbench::seeds(), 1402, 10000000);
     const auto un_rounds = agbench::stopping_rounds(
         [&](sim::Rng& rng) {
           const auto placement = core::uniform_distinct(k, n, rng);
-          core::UncodedConfig cfg;
-          cfg.drop_probability = p;
-          return core::UncodedGossip(g, placement, cfg);
+          core::UncodedGossip proto(g, placement, core::UncodedConfig{});
+          proto.set_channel(sim::Channel::lossy(p, rng()));
+          return proto;
         },
         agbench::seeds(), 1403, 10000000);
 
@@ -79,8 +83,8 @@ int main() {
   sim::Rng rng(1404);
   core::AgConfig cfg;
   cfg.payload_len = 8;
-  cfg.drop_probability = 0.5;
   core::UniformAG<core::Gf256Decoder> proto(g, core::uniform_distinct(k, n, rng), cfg);
+  proto.set_channel(sim::Channel::lossy(0.5, rng()));
   const auto res = sim::run(proto, rng, 10000000);
   std::size_t bad = 0;
   for (graph::NodeId v = 0; v < n; ++v) {

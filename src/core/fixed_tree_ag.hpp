@@ -5,15 +5,23 @@
 //
 // This is exactly TAG Phase 2 run in isolation on an already-built tree; TAG
 // itself interleaves it with the spanning-tree protocol.
+//
+// The tree is an overlay (see tag.hpp): exchanges follow the fixed parent
+// pointers regardless of the underlay's current edges.  An optional
+// TopologyView supplies liveness: down nodes take no actions and are not
+// contacted, and rejoined nodes restart from their initial messages.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "core/ag_config.hpp"
 #include "core/swarm.hpp"
 #include "graph/spanning_tree.hpp"
 #include "sim/engine.hpp"
 #include "sim/mailbox.hpp"
+#include "sim/topology.hpp"
 
 namespace ag::core {
 
@@ -27,8 +35,15 @@ class FixedTreeAG
   using packet_type = typename D::packet_type;
 
   FixedTreeAG(const graph::SpanningTree& tree, const Placement& placement, AgConfig cfg)
+      : FixedTreeAG(tree, nullptr, placement, cfg) {}
+
+  // `topo`, when non-null, provides node liveness (churn); it may be null
+  // for the static setting.  Its node count must match the tree's.
+  FixedTreeAG(const graph::SpanningTree& tree, std::unique_ptr<sim::TopologyView> topo,
+              const Placement& placement, AgConfig cfg)
       : Base(cfg.time_model, cfg.discard_same_sender_per_round),
         tree_(&tree),
+        topo_(std::move(topo)),
         swarm_(tree.node_count(), placement, cfg.payload_len) {
     if (cfg.drop_probability > 0.0) {
       this->set_drop_probability(cfg.drop_probability, cfg.drop_seed);
@@ -41,6 +56,7 @@ class FixedTreeAG
   void on_activate(graph::NodeId v, sim::Rng& rng) {
     if (!tree_->has_parent(v)) return;  // root: passive
     const graph::NodeId p = tree_->parent(v);
+    if (topo_ && (!topo_->alive(v) || !topo_->alive(p))) return;
     // EXCHANGE: both packets built (in reusable scratch) before either send.
     const bool have_v = swarm_.combine_into(v, rng, buf_v_);
     const bool have_p = swarm_.combine_into(p, rng, buf_p_);
@@ -51,6 +67,10 @@ class FixedTreeAG
   void end_round() {
     this->flush_inbox();
     ++round_;
+    if (topo_) {
+      topo_->advance(round_ + 1);
+      for (const graph::NodeId v : topo_->rejoined()) swarm_.reset_node(v, round_);
+    }
   }
 
   const RlncSwarm<D>& swarm() const noexcept { return swarm_; }
@@ -61,6 +81,7 @@ class FixedTreeAG
   }
 
   const graph::SpanningTree* tree_;
+  std::unique_ptr<sim::TopologyView> topo_;  // liveness only; may be null
   RlncSwarm<D> swarm_;
   packet_type buf_v_, buf_p_;  // reusable transmit scratch
   std::uint64_t round_ = 0;

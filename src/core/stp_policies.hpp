@@ -10,6 +10,13 @@
 //   bool finished()       -- the policy's own standalone stopping rule
 //   const graph::SpanningTree& tree()
 //
+// Policies select partners from a sim::TopologyView (current neighbors), so
+// they run unchanged on static graphs and on dynamic/churned topologies.
+// Deterministic contact lists (round-robin offsets, IS lists) are computed
+// from the INITIAL topology; under churn a listed partner that is currently
+// down is skipped for that step.  Tree state persists across outages (the
+// tree is overlay state; see tag.hpp).
+//
 // BroadcastStpPolicy: 1-dissemination as an STP (Section 4.1): a single
 //   rumor spreads; a node's parent is the sender it first heard the rumor
 //   from.  With the round-robin communication model this is B_RR of
@@ -36,6 +43,7 @@
 #include "sim/partner.hpp"
 #include "sim/rng.hpp"
 #include "sim/time_model.hpp"
+#include "sim/topology.hpp"
 
 namespace ag::core {
 
@@ -58,13 +66,14 @@ class BroadcastStpPolicy {
   // The rumor itself; carries no data, the sender id is the information.
   struct message_type {};
 
-  BroadcastStpPolicy(const graph::Graph& g, const BroadcastStpConfig& cfg, sim::Rng& rng)
-      : g_(&g),
+  BroadcastStpPolicy(const sim::TopologyView& t, const BroadcastStpConfig& cfg,
+                     sim::Rng& rng)
+      : t_(&t),
         cfg_(cfg),
-        has_(g.node_count(), 0),
-        tree_(g.node_count()),
-        uniform_(g),
-        round_robin_(g, rng) {
+        has_(t.node_count(), 0),
+        tree_(t.node_count()),
+        uniform_(t),
+        round_robin_(t, rng) {
     tree_.set_root(cfg.origin);
     has_[cfg.origin] = 1;
     informed_ = 1;
@@ -72,7 +81,7 @@ class BroadcastStpPolicy {
 
   template <typename Emit>
   void activate(NodeId v, sim::Rng& rng, Emit&& emit) {
-    if (g_->degree(v) == 0) return;
+    if (!t_->alive(v) || t_->degree(v) == 0) return;
     const NodeId u = cfg_.comm == CommModel::Uniform ? uniform_.pick(v, rng)
                                                      : round_robin_.pick(v, rng);
     if (has_[v]) emit(v, u, message_type{});
@@ -88,7 +97,7 @@ class BroadcastStpPolicy {
 
   bool has_parent(NodeId v) const { return tree_.has_parent(v); }
   NodeId parent(NodeId v) const { return tree_.parent(v); }
-  bool tree_complete() const { return informed_ == g_->node_count(); }
+  bool tree_complete() const { return informed_ == t_->node_count(); }
   // Standalone stopping rule: the broadcast is done when everyone is informed.
   bool finished() const { return tree_complete(); }
   const graph::SpanningTree& tree() const { return tree_; }
@@ -97,11 +106,11 @@ class BroadcastStpPolicy {
 
   // Wire size of one broadcast message: a rumor id, O(log n) bits.
   double message_bits() const {
-    return std::max(1.0, std::ceil(std::log2(static_cast<double>(g_->node_count()))));
+    return std::max(1.0, std::ceil(std::log2(static_cast<double>(t_->node_count()))));
   }
 
  private:
-  const graph::Graph* g_;
+  const sim::TopologyView* t_;
   BroadcastStpConfig cfg_;
   std::vector<char> has_;
   graph::SpanningTree tree_;
@@ -130,18 +139,18 @@ class IsStpPolicy {
   // messages; that is exactly why TAG only uses it to build the tree).
   using message_type = std::vector<std::uint64_t>;
 
-  IsStpPolicy(const graph::Graph& g, const IsStpConfig& cfg, sim::Rng& rng)
-      : g_(&g),
+  IsStpPolicy(const sim::TopologyView& t, const IsStpConfig& cfg, sim::Rng& rng)
+      : t_(&t),
         cfg_(cfg),
-        words_((g.node_count() + 63) / 64),
-        bits_(g.node_count()),
-        ones_(g.node_count(), 0),
-        steps_(g.node_count(), 0),
-        det_index_(g.node_count(), 0),
-        tree_(g.node_count()),
-        full_(g.node_count(), 0),
-        uniform_(g) {
-    const std::size_t n = g.node_count();
+        words_((t.node_count() + 63) / 64),
+        bits_(t.node_count()),
+        ones_(t.node_count(), 0),
+        steps_(t.node_count(), 0),
+        det_index_(t.node_count(), 0),
+        tree_(t.node_count()),
+        full_(t.node_count(), 0),
+        uniform_(t) {
+    const std::size_t n = t.node_count();
     tree_.set_root(cfg.root);
     for (NodeId v = 0; v < n; ++v) {
       bits_[v].assign(words_, 0);
@@ -165,7 +174,7 @@ class IsStpPolicy {
     // interiors) fall back to round-robin over all neighbors.
     det_list_.resize(n);
     for (NodeId v = 0; v < n; ++v) {
-      const auto nbrs = g.neighbors(v);
+      const auto nbrs = t.neighbors(v);
       det_list_[v].assign(nbrs.begin(), nbrs.end());
       if (cfg.order == IsListOrder::FewestCommonNeighborsFirst) {
         std::vector<char> is_nbr(n, 0);
@@ -173,10 +182,10 @@ class IsStpPolicy {
         std::vector<NodeId> thin;
         for (NodeId u : nbrs) {
           std::size_t common = 0;
-          for (NodeId w : g.neighbors(u)) {
+          for (NodeId w : t.neighbors(u)) {
             if (is_nbr[w]) ++common;
           }
-          const std::size_t min_deg = std::min(g.degree(v), g.degree(u));
+          const std::size_t min_deg = std::min(t.degree(v), t.degree(u));
           if (4 * common < min_deg) thin.push_back(u);
         }
         if (!thin.empty()) det_list_[v] = std::move(thin);
@@ -186,14 +195,24 @@ class IsStpPolicy {
 
   template <typename Emit>
   void activate(NodeId v, sim::Rng& rng, Emit&& emit) {
-    if (g_->degree(v) == 0) return;
+    if (!t_->alive(v) || t_->degree(v) == 0) return;
     ++steps_[v];
     NodeId u;
     if (steps_[v] % 2 == 1) {
-      // Odd-numbered step: deterministic list.
+      // Odd-numbered step: deterministic list (computed over the initial
+      // topology; a listed partner that is currently down is skipped).  A
+      // node that was isolated at construction has an empty list but can
+      // gain neighbors under a dynamic view: fall back to a uniform pick
+      // (this path is unreachable on static topologies, where the degree
+      // guard above already returned).
       auto& list = det_list_[v];
-      u = list[det_index_[v] % list.size()];
-      det_index_[v] = (det_index_[v] + 1) % list.size();
+      if (list.empty()) {
+        u = uniform_.pick(v, rng);
+      } else {
+        u = list[det_index_[v] % list.size()];
+        det_index_[v] = (det_index_[v] + 1) % list.size();
+        if (!t_->alive(u)) return;
+      }
     } else {
       // Even-numbered step: randomized choice ([5] and Section 6).
       u = uniform_.pick(v, rng);
@@ -217,7 +236,7 @@ class IsStpPolicy {
       tree_.set_parent(to, from);
       ++parents_;
     }
-    if (ones == g_->node_count() && !full_[to]) {
+    if (ones == t_->node_count() && !full_[to]) {
       full_[to] = 1;
       ++full_count_;
     }
@@ -225,9 +244,9 @@ class IsStpPolicy {
 
   bool has_parent(NodeId v) const { return tree_.has_parent(v); }
   NodeId parent(NodeId v) const { return tree_.parent(v); }
-  bool tree_complete() const { return parents_ == g_->node_count() - 1; }
+  bool tree_complete() const { return parents_ == t_->node_count() - 1; }
   // Standalone stopping rule: full information spreading (Theorem 6).
-  bool finished() const { return full_count_ == g_->node_count(); }
+  bool finished() const { return full_count_ == t_->node_count(); }
   const graph::SpanningTree& tree() const { return tree_; }
 
   std::size_t ones_count(NodeId v) const { return ones_[v]; }
@@ -235,7 +254,7 @@ class IsStpPolicy {
   // Wire size of one IS message: the full n-bit string -- "the IS protocol
   // sends large messages" (Section 6), which is why TAG uses it only to
   // build the tree.
-  double message_bits() const { return static_cast<double>(g_->node_count()); }
+  double message_bits() const { return static_cast<double>(t_->node_count()); }
 
  private:
   static void set_bit(std::vector<std::uint64_t>& bits, NodeId i) {
@@ -245,7 +264,7 @@ class IsStpPolicy {
     return (bits[i / 64] >> (i % 64)) & 1;
   }
 
-  const graph::Graph* g_;
+  const sim::TopologyView* t_;
   IsStpConfig cfg_;
   std::size_t words_;
   std::vector<std::vector<std::uint64_t>> bits_;

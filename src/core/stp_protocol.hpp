@@ -2,15 +2,19 @@
 //
 // Running BroadcastStpPolicy through this measures t(B) and d(B) (Theorem 5);
 // running IsStpPolicy measures the IS protocol's full-information-spreading
-// time (Theorem 6) and the induced tree's depth/diameter.
+// time (Theorem 6) and the induced tree's depth/diameter.  Like the AG
+// protocols, the runner queries a sim::TopologyView, so policies can be
+// measured on dynamic topologies too.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 #include "graph/graph.hpp"
 #include "sim/engine.hpp"
 #include "sim/mailbox.hpp"
+#include "sim/topology.hpp"
 
 namespace ag::core {
 
@@ -23,11 +27,17 @@ class StpProtocol
  public:
   template <typename... Args>
   explicit StpProtocol(sim::TimeModel tm, const graph::Graph& g, Args&&... args)
-      : Base(tm, /*discard_same_sender_per_round=*/false),
-        g_(&g),
-        policy_(g, std::forward<Args>(args)...) {}
+      : StpProtocol(tm, std::make_unique<sim::StaticTopology>(g),
+                    std::forward<Args>(args)...) {}
 
-  std::size_t node_count() const noexcept { return g_->node_count(); }
+  template <typename... Args>
+  explicit StpProtocol(sim::TimeModel tm, std::unique_ptr<sim::TopologyView> topo,
+                       Args&&... args)
+      : Base(tm, /*discard_same_sender_per_round=*/false),
+        topo_(std::move(topo)),
+        policy_(*topo_, std::forward<Args>(args)...) {}
+
+  std::size_t node_count() const noexcept { return topo_->node_count(); }
   bool finished() const { return policy_.finished(); }
 
   void on_activate(graph::NodeId v, sim::Rng& rng) {
@@ -42,10 +52,12 @@ class StpProtocol
     if (tree_complete_round_ == kNever && policy_.tree_complete()) {
       tree_complete_round_ = round_;
     }
+    topo_->advance(round_ + 1);
   }
 
   Policy& policy() noexcept { return policy_; }
   const Policy& policy() const noexcept { return policy_; }
+  const sim::TopologyView& topology() const noexcept { return *topo_; }
 
   static constexpr std::uint64_t kNever = ~std::uint64_t{0};
   std::uint64_t tree_complete_round() const noexcept { return tree_complete_round_; }
@@ -61,7 +73,7 @@ class StpProtocol
     policy_.on_message(from, to, msg);
   }
 
-  const graph::Graph* g_;
+  std::unique_ptr<sim::TopologyView> topo_;
   Policy policy_;
   std::uint64_t round_ = 0;
   std::uint64_t tree_complete_round_ = kNever;

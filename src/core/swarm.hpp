@@ -28,7 +28,10 @@ class RlncSwarm {
   // payload_len payload symbols each, and seeds the owners' decoders with
   // their initial unit equations.
   RlncSwarm(std::size_t n, const Placement& placement, std::size_t payload_len)
-      : k_(placement.message_count()), finish_round_(n, kNotFinished) {
+      : k_(placement.message_count()),
+        payload_len_(payload_len),
+        owned_(placement.by_node(n)),
+        finish_round_(n, kNotFinished) {
     nodes_.reserve(n);
     for (std::size_t v = 0; v < n; ++v) nodes_.emplace_back(k_, payload_len);
     for (std::size_t i = 0; i < k_; ++i) {
@@ -38,6 +41,24 @@ class RlncSwarm {
     for (std::size_t v = 0; v < n; ++v) {
       if (nodes_[v].full_rank()) mark_finished(static_cast<graph::NodeId>(v), 0);
     }
+  }
+
+  // Churn semantics: a node that left the network and rejoined lost every
+  // coded equation it had received, but still owns its initial messages, so
+  // its decoder restarts seeded with exactly its placement-time unit
+  // equations.  Completion tracking is rewound accordingly (the protocol is
+  // no longer finished if a complete node resets below full rank).
+  void reset_node(graph::NodeId v, std::uint64_t now_round) {
+    if (finish_round_[v] != kNotFinished) {
+      finish_round_[v] = kNotFinished;
+      --complete_;
+    }
+    auto& d = nodes_[v];
+    d = D(k_, payload_len_);
+    for (const std::size_t i : owned_[v]) {
+      d.insert(d.unit_packet(i, expected_payload(i, payload_len_)));
+    }
+    if (d.full_rank()) mark_finished(v, now_round);
   }
 
   std::size_t node_count() const noexcept { return nodes_.size(); }
@@ -132,6 +153,8 @@ class RlncSwarm {
   }
 
   std::size_t k_;
+  std::size_t payload_len_;
+  std::vector<std::vector<std::size_t>> owned_;  // node -> initially owned messages
   std::vector<D> nodes_;
   std::vector<std::uint64_t> finish_round_;
   std::size_t complete_ = 0;

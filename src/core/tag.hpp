@@ -13,9 +13,19 @@
 // Theorem 4: t(TAG) = O(k + log n + d(S) + t(S)) rounds, both time models,
 // w.h.p.  With a broadcast protocol B as S in the synchronous model:
 // O(k + log n + t(B)) (Section 4.1).
+//
+// Dynamics: Phase 1 selects partners from the TopologyView's current
+// neighbor lists (the underlay).  The tree the policy builds is an OVERLAY:
+// once a node has a parent, Phase 2 keeps exchanging with it even if the
+// underlay edge has meanwhile rotated away -- the tree is control-plane
+// state established while the link existed.  Churn is respected on both
+// phases: down nodes take no actions, are never picked, and a down parent is
+// not contacted; rejoined nodes restart their RLNC state from their initial
+// messages (the policy's tree state persists across the outage).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <variant>
 
@@ -24,6 +34,7 @@
 #include "graph/graph.hpp"
 #include "sim/engine.hpp"
 #include "sim/mailbox.hpp"
+#include "sim/topology.hpp"
 
 namespace ag::core {
 
@@ -44,20 +55,27 @@ class Tag : public sim::Mailbox<
   template <typename... PolicyArgs>
   Tag(const graph::Graph& g, const Placement& placement, AgConfig cfg,
       PolicyArgs&&... policy_args)
+      : Tag(std::make_unique<sim::StaticTopology>(g), placement, cfg,
+            std::forward<PolicyArgs>(policy_args)...) {}
+
+  template <typename... PolicyArgs>
+  Tag(std::unique_ptr<sim::TopologyView> topo, const Placement& placement,
+      AgConfig cfg, PolicyArgs&&... policy_args)
       : Base(cfg.time_model, cfg.discard_same_sender_per_round),
-        g_(&g),
-        swarm_(g.node_count(), placement, cfg.payload_len),
-        policy_(g, std::forward<PolicyArgs>(policy_args)...),
-        wakeups_(g.node_count(), 0) {
+        topo_(std::move(topo)),
+        swarm_(topo_->node_count(), placement, cfg.payload_len),
+        policy_(*topo_, std::forward<PolicyArgs>(policy_args)...),
+        wakeups_(topo_->node_count(), 0) {
     if (cfg.drop_probability > 0.0) {
       this->set_drop_probability(cfg.drop_probability, cfg.drop_seed);
     }
   }
 
-  std::size_t node_count() const noexcept { return g_->node_count(); }
+  std::size_t node_count() const noexcept { return topo_->node_count(); }
   bool finished() const noexcept { return swarm_.all_complete(); }
 
   void on_activate(graph::NodeId v, sim::Rng& rng) {
+    if (!topo_->alive(v)) return;
     ++wakeups_[v];
     if (wakeups_[v] % 2 == 1) {
       // Phase 1: spanning-tree protocol step.
@@ -67,12 +85,14 @@ class Tag : public sim::Mailbox<
                                       std::forward<decltype(m)>(m)));
       });
     } else {
-      // Phase 2: algebraic gossip EXCHANGE with the fixed parent, once known.
-      // The packets are built directly inside two reusable variant buffers
-      // (kept holding the packet alternative so their heap capacity
-      // survives), computed before either send -- a simultaneous swap.
+      // Phase 2: algebraic gossip EXCHANGE with the fixed parent, once known
+      // and currently alive.  The packets are built directly inside two
+      // reusable variant buffers (kept holding the packet alternative so
+      // their heap capacity survives), computed before either send -- a
+      // simultaneous swap.
       if (!policy_.has_parent(v)) return;
       const graph::NodeId p = policy_.parent(v);
+      if (!topo_->alive(p)) return;
       const bool have_v = swarm_.combine_into(v, rng, packet_buf(msg_buf_v_));
       const bool have_p = swarm_.combine_into(p, rng, packet_buf(msg_buf_p_));
       if (have_v) {
@@ -92,10 +112,13 @@ class Tag : public sim::Mailbox<
     if (tree_complete_round_ == kNever && policy_.tree_complete()) {
       tree_complete_round_ = round_;
     }
+    topo_->advance(round_ + 1);
+    for (const graph::NodeId v : topo_->rejoined()) swarm_.reset_node(v, round_);
   }
 
   const RlncSwarm<D>& swarm() const noexcept { return swarm_; }
   const Policy& policy() const noexcept { return policy_; }
+  const sim::TopologyView& topology() const noexcept { return *topo_; }
 
   static constexpr std::uint64_t kNever = ~std::uint64_t{0};
   // t(S) as observed inside this TAG run (in TAG rounds, which include the
@@ -130,7 +153,7 @@ class Tag : public sim::Mailbox<
     return std::get<1>(m);
   }
 
-  const graph::Graph* g_;
+  std::unique_ptr<sim::TopologyView> topo_;
   RlncSwarm<D> swarm_;
   Policy policy_;
   message_type msg_buf_v_{std::in_place_index<1>};  // reusable Phase-2 scratch

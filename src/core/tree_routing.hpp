@@ -16,16 +16,21 @@
 // (gossip has no acknowledgements).  Under message loss a dropped block is
 // skipped forever, subtrees end up permanently missing it, and the protocol
 // cannot complete -- while RLNC keeps sailing, since every later coded
-// packet re-covers the lost dimension.
+// packet re-covers the lost dimension.  The same fragility shows under
+// churn: a rejoined node restarts from its initially owned blocks, but
+// blocks already popped from upstream FIFOs are never re-sent.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/dissemination.hpp"
 #include "graph/spanning_tree.hpp"
 #include "sim/engine.hpp"
 #include "sim/mailbox.hpp"
+#include "sim/topology.hpp"
 
 namespace ag::core {
 
@@ -43,9 +48,17 @@ class TreeRoutingGossip
  public:
   TreeRoutingGossip(const graph::SpanningTree& tree, const Placement& placement,
                     TreeRoutingConfig cfg)
+      : TreeRoutingGossip(tree, nullptr, placement, cfg) {}
+
+  // `topo`, when non-null, provides node liveness (churn); may be null.
+  TreeRoutingGossip(const graph::SpanningTree& tree,
+                    std::unique_ptr<sim::TopologyView> topo,
+                    const Placement& placement, TreeRoutingConfig cfg)
       : Base(cfg.time_model, /*discard_same_sender_per_round=*/false),
         tree_(&tree),
+        topo_(std::move(topo)),
         k_(placement.message_count()),
+        owned_(placement.by_node(tree.node_count())),
         has_(tree.node_count()),
         up_queue_(tree.node_count()),
         up_cursor_(tree.node_count(), 0),
@@ -67,6 +80,7 @@ class TreeRoutingGossip
   void on_activate(graph::NodeId v, sim::Rng& /*rng*/) {
     if (!tree_->has_parent(v)) return;  // root is passive, answers exchanges
     const graph::NodeId p = tree_->parent(v);
+    if (topo_ && (!topo_->alive(v) || !topo_->alive(p))) return;
     // v -> p: head of v's upstream FIFO.
     if (up_cursor_[v] < up_queue_[v].size()) {
       send(v, p, std::uint32_t{up_queue_[v][up_cursor_[v]++]});
@@ -77,7 +91,14 @@ class TreeRoutingGossip
     }
   }
 
-  void end_round() { flush_inbox(); }
+  void end_round() {
+    flush_inbox();
+    ++round_;
+    if (topo_) {
+      topo_->advance(round_ + 1);
+      for (const graph::NodeId v : topo_->rejoined()) reset_node(v);
+    }
+  }
 
   std::size_t known_count(graph::NodeId v) const { return known_count_[v]; }
   std::size_t complete_count() const noexcept { return complete_; }
@@ -106,8 +127,31 @@ class TreeRoutingGossip
     }
   }
 
+  // Churn: v's stored blocks and its OWN egress FIFOs (up_queue_[v] toward
+  // the parent, down_queue_[c] toward each child) are lost; initially owned
+  // blocks survive and are re-enqueued (downstream receivers dedupe via
+  // store()).  down_queue_[v] is the PARENT's egress queue keyed by v --
+  // link state of the parent, which did not churn -- so it is kept.
+  void reset_node(graph::NodeId v) {
+    if (k_ != 0 && known_count_[v] == k_) --complete_;
+    has_[v].assign(k_, 0);
+    known_count_[v] = 0;
+    up_queue_[v].clear();
+    up_cursor_[v] = 0;
+    if (children_.empty()) children_ = tree_->children();
+    for (const graph::NodeId c : children_[v]) {
+      down_queue_[c].clear();
+      down_cursor_[c] = 0;
+    }
+    for (const std::size_t i : owned_[v]) {
+      store(v, static_cast<std::uint32_t>(i), graph::kNoParent);
+    }
+  }
+
   const graph::SpanningTree* tree_;
+  std::unique_ptr<sim::TopologyView> topo_;  // liveness only; may be null
   std::size_t k_;
+  std::vector<std::vector<std::size_t>> owned_;
   std::vector<std::vector<char>> has_;
   std::vector<std::vector<std::uint32_t>> up_queue_;   // v -> parent(v)
   std::vector<std::size_t> up_cursor_;
@@ -116,6 +160,7 @@ class TreeRoutingGossip
   std::vector<std::size_t> known_count_;
   std::vector<std::vector<graph::NodeId>> children_;
   std::size_t complete_ = 0;
+  std::uint64_t round_ = 0;
 };
 
 }  // namespace ag::core

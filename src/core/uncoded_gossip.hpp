@@ -4,9 +4,15 @@
 // sends one chosen uniformly at random among them.  No coding, so a
 // transmission is useful only if the receiver happens to miss that exact
 // message -- the coupon-collector effect algebraic gossip eliminates.
+//
+// Runs on a sim::TopologyView like the coded protocols, so the baseline is
+// measurable under the same loss/churn/adversarial scenarios; a node that
+// churns out and rejoins keeps only its initially placed messages.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/dissemination.hpp"
@@ -15,6 +21,7 @@
 #include "sim/mailbox.hpp"
 #include "sim/partner.hpp"
 #include "sim/time_model.hpp"
+#include "sim/topology.hpp"
 
 namespace ag::core {
 
@@ -32,14 +39,20 @@ class UncodedGossip
 
  public:
   UncodedGossip(const graph::Graph& g, const Placement& placement, UncodedConfig cfg)
+      : UncodedGossip(std::make_unique<sim::StaticTopology>(g), placement, cfg) {}
+
+  UncodedGossip(std::unique_ptr<sim::TopologyView> topo, const Placement& placement,
+                UncodedConfig cfg)
       : Base(cfg.time_model, /*discard_same_sender_per_round=*/false),
-        g_(&g),
+        topo_(std::move(topo)),
         cfg_(cfg),
         k_(placement.message_count()),
-        known_(g.node_count()),
-        has_(g.node_count()),
-        selector_(g) {
-    for (std::size_t v = 0; v < g.node_count(); ++v) has_[v].assign(k_, 0);
+        owned_(placement.by_node(topo_->node_count())),
+        known_(topo_->node_count()),
+        has_(topo_->node_count()),
+        selector_(*topo_) {
+    const std::size_t n = topo_->node_count();
+    for (std::size_t v = 0; v < n; ++v) has_[v].assign(k_, 0);
     for (std::size_t i = 0; i < k_; ++i) {
       const graph::NodeId v = placement.owner[i];
       if (!has_[v][i]) {
@@ -47,7 +60,7 @@ class UncodedGossip
         known_[v].push_back(static_cast<std::uint32_t>(i));
       }
     }
-    for (std::size_t v = 0; v < g.node_count(); ++v) {
+    for (std::size_t v = 0; v < n; ++v) {
       if (known_[v].size() == k_) ++complete_;
     }
     if (cfg.drop_probability > 0.0) {
@@ -55,11 +68,11 @@ class UncodedGossip
     }
   }
 
-  std::size_t node_count() const noexcept { return g_->node_count(); }
-  bool finished() const noexcept { return complete_ == g_->node_count(); }
+  std::size_t node_count() const noexcept { return topo_->node_count(); }
+  bool finished() const noexcept { return complete_ == topo_->node_count(); }
 
   void on_activate(graph::NodeId v, sim::Rng& rng) {
-    if (g_->degree(v) == 0) return;
+    if (!topo_->alive(v) || topo_->degree(v) == 0) return;
     const graph::NodeId u = selector_.pick(v, rng);
     if (cfg_.direction != sim::Direction::Pull && !known_[v].empty()) {
       this->send(v, u, known_[v][rng.uniform(known_[v].size())]);
@@ -69,9 +82,15 @@ class UncodedGossip
     }
   }
 
-  void end_round() { this->flush_inbox(); }
+  void end_round() {
+    this->flush_inbox();
+    ++round_;
+    topo_->advance(round_ + 1);
+    for (const graph::NodeId v : topo_->rejoined()) reset_node(v);
+  }
 
   std::size_t known_count(graph::NodeId v) const { return known_[v].size(); }
+  const sim::TopologyView& topology() const noexcept { return *topo_; }
 
  private:
   void deliver(graph::NodeId /*from*/, graph::NodeId to, const std::uint32_t& msg) {
@@ -81,13 +100,28 @@ class UncodedGossip
     if (known_[to].size() == k_) ++complete_;
   }
 
-  const graph::Graph* g_;
+  // Churn semantics mirroring RlncSwarm::reset_node: received messages are
+  // lost, initially owned ones survive.
+  void reset_node(graph::NodeId v) {
+    if (known_[v].size() == k_) --complete_;
+    has_[v].assign(k_, 0);
+    known_[v].clear();
+    for (const std::size_t i : owned_[v]) {
+      has_[v][i] = 1;
+      known_[v].push_back(static_cast<std::uint32_t>(i));
+    }
+    if (known_[v].size() == k_) ++complete_;
+  }
+
+  std::unique_ptr<sim::TopologyView> topo_;
   UncodedConfig cfg_;
   std::size_t k_;
+  std::vector<std::vector<std::size_t>> owned_;
   std::vector<std::vector<std::uint32_t>> known_;
   std::vector<std::vector<char>> has_;
   sim::UniformSelector selector_;
   std::size_t complete_ = 0;
+  std::uint64_t round_ = 0;
 };
 
 }  // namespace ag::core

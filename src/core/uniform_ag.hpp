@@ -1,13 +1,22 @@
 // Uniform Algebraic Gossip (Section 3).
 //
 // Each activation, the node draws a partner uniformly at random among its
-// neighbors (Definition 1) and runs PUSH / PULL / EXCHANGE with RLNC message
-// content.  Theorem 1: stopping time O((k + log n + D) * Delta) rounds in
-// both time models w.h.p.; Theorem 3: Theta(k + D) on constant-max-degree
-// graphs (sync).
+// current neighbors (Definition 1) and runs PUSH / PULL / EXCHANGE with RLNC
+// message content.  Theorem 1: stopping time O((k + log n + D) * Delta)
+// rounds in both time models w.h.p.; Theorem 3: Theta(k + D) on
+// constant-max-degree graphs (sync).
+//
+// The protocol queries a sim::TopologyView instead of holding the graph, so
+// the same code runs on static graphs (stream-identical to the pre-dynamic
+// implementation), scripted/adversarial topology sequences, and node churn
+// (rejoined nodes restart from their initial messages).  Message loss is the
+// Channel's job (sim/channel.hpp), configured via AgConfig.drop_probability
+// or set_channel().
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "core/ag_config.hpp"
 #include "core/swarm.hpp"
@@ -15,6 +24,7 @@
 #include "sim/engine.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/partner.hpp"
+#include "sim/topology.hpp"
 
 namespace ag::core {
 
@@ -27,22 +37,30 @@ class UniformAG
  public:
   using packet_type = typename D::packet_type;
 
+  // Static-graph constructor (the paper's setting).  `g` must outlive the
+  // protocol, exactly like the old `const Graph&` member.
   UniformAG(const graph::Graph& g, const Placement& placement, AgConfig cfg)
+      : UniformAG(std::make_unique<sim::StaticTopology>(g), placement, cfg) {}
+
+  // Dynamic-topology constructor: the protocol owns the view and advances it
+  // once per round barrier.
+  UniformAG(std::unique_ptr<sim::TopologyView> topo, const Placement& placement,
+            AgConfig cfg)
       : Base(cfg.time_model, cfg.discard_same_sender_per_round),
-        g_(&g),
+        topo_(std::move(topo)),
         cfg_(cfg),
-        swarm_(g.node_count(), placement, cfg.payload_len),
-        selector_(g) {
+        swarm_(topo_->node_count(), placement, cfg.payload_len),
+        selector_(*topo_) {
     if (cfg.drop_probability > 0.0) {
       this->set_drop_probability(cfg.drop_probability, cfg.drop_seed);
     }
   }
 
-  std::size_t node_count() const noexcept { return g_->node_count(); }
+  std::size_t node_count() const noexcept { return topo_->node_count(); }
   bool finished() const noexcept { return swarm_.all_complete(); }
 
   void on_activate(graph::NodeId v, sim::Rng& rng) {
-    if (g_->degree(v) == 0) return;
+    if (!topo_->alive(v) || topo_->degree(v) == 0) return;
     const graph::NodeId u = selector_.pick(v, rng);
     // Compute both packets before sending either: the paper's EXCHANGE is a
     // simultaneous swap, so u's reply must not already contain v's packet.
@@ -62,9 +80,12 @@ class UniformAG
   void end_round() {
     this->flush_inbox();
     ++round_;
+    topo_->advance(round_ + 1);
+    for (const graph::NodeId v : topo_->rejoined()) swarm_.reset_node(v, round_);
   }
 
   const RlncSwarm<D>& swarm() const noexcept { return swarm_; }
+  const sim::TopologyView& topology() const noexcept { return *topo_; }
   std::uint64_t rounds_elapsed() const noexcept { return round_; }
 
   // Total bits put on the wire so far (every coded packet has the fixed size
@@ -80,7 +101,7 @@ class UniformAG
     swarm_.receive(to, pkt, round_);
   }
 
-  const graph::Graph* g_;
+  std::unique_ptr<sim::TopologyView> topo_;
   AgConfig cfg_;
   RlncSwarm<D> swarm_;
   sim::UniformSelector selector_;

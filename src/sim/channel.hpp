@@ -1,0 +1,79 @@
+// Lossy-channel model: decides, per transmitted message, whether the link
+// delivers it.  This subsumes the global drop-probability knob the Mailbox
+// used to hand-roll and extends it to per-edge loss (e.g. only the barbell
+// bridge is lossy), which is what the adversarial scenarios need.
+//
+// Determinism contract: the channel draws from its OWN Rng stream, seeded at
+// construction, and consumes exactly one draw per send attempt when any loss
+// is configured (zero draws when ideal).  It never touches the simulation
+// Rng, so enabling or disabling loss does not shift partner selection or
+// coding coefficients -- and a (seed, run-index) pair still fully determines
+// a trajectory, which is what keeps serial == parallel_stopping_rounds.
+//
+// The global-loss stream is bit-compatible with the retired
+// Mailbox::drop_probability path: one bernoulli(p) per send from an Rng
+// seeded with the same value (the golden traces pin this).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace ag::sim {
+
+using graph::NodeId;
+
+class Channel {
+ public:
+  // Ideal channel: every message is delivered, no randomness consumed.
+  Channel() = default;
+
+  // Every message lost independently with probability p (global i.i.d. loss).
+  static Channel lossy(double p, std::uint64_t seed) {
+    Channel c;
+    c.default_loss_ = p;
+    c.rng_.reseed(seed);
+    return c;
+  }
+
+  void reseed(std::uint64_t seed) { rng_.reseed(seed); }
+
+  // Loss probability applied to edges without an explicit override.
+  void set_default_loss(double p) { default_loss_ = p; }
+
+  // Per-edge override (undirected: applies to both directions).
+  void set_edge_loss(NodeId u, NodeId v, double p) { edge_loss_[key(u, v)] = p; }
+
+  double loss_probability(NodeId u, NodeId v) const {
+    if (!edge_loss_.empty()) {
+      const auto it = edge_loss_.find(key(u, v));
+      if (it != edge_loss_.end()) return it->second;
+    }
+    return default_loss_;
+  }
+
+  // True when no message can ever be lost; admits() then consumes no draws.
+  bool ideal() const noexcept { return default_loss_ <= 0.0 && edge_loss_.empty(); }
+
+  // One send attempt on edge (from, to); true = deliver, false = lost.
+  // Consumes exactly one draw unless the channel is ideal, so the draw
+  // sequence depends only on the number of attempts, not on their edges.
+  bool admits(NodeId from, NodeId to) {
+    if (ideal()) return true;
+    return !rng_.bernoulli(loss_probability(from, to));
+  }
+
+ private:
+  static std::uint64_t key(NodeId u, NodeId v) noexcept {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  double default_loss_ = 0.0;
+  std::unordered_map<std::uint64_t, double> edge_loss_;
+  Rng rng_{0xD60FDA7Aull};
+};
+
+}  // namespace ag::sim

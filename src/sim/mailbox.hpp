@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/channel.hpp"
 #include "sim/rng.hpp"
 #include "sim/time_model.hpp"
 
@@ -47,13 +48,18 @@ class Mailbox {
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
 
-  // Failure injection: every sent message is lost independently with
-  // probability p (lossy links).  RLNC tolerates this gracefully -- a lost
-  // coded packet is statistically interchangeable with the next one -- which
-  // the robustness bench (E10) quantifies.
+  // Failure injection now lives in the Channel (sim/channel.hpp): every send
+  // is offered to the channel, which may drop it with a global or per-edge
+  // probability.  RLNC tolerates this gracefully -- a lost coded packet is
+  // statistically interchangeable with the next one -- which the robustness
+  // bench (E10) quantifies.
+  void set_channel(Channel ch) { channel_ = std::move(ch); }
+  const Channel& channel() const noexcept { return channel_; }
+
+  // Convenience for the common global-loss case; stream-identical to the
+  // retired drop_probability/drop_rng members.
   void set_drop_probability(double p, std::uint64_t seed) {
-    drop_probability_ = p;
-    drop_rng_.reseed(seed);
+    channel_ = Channel::lossy(p, seed);
   }
 
  protected:
@@ -62,7 +68,7 @@ class Mailbox {
   // into a pooled envelope slot (vector capacity inside Msg is reused).
   void send(NodeId from, NodeId to, const Msg& msg) {
     ++messages_sent_;
-    if (dropped()) return;
+    if (dropped(from, to)) return;
     if (tm_ == TimeModel::Synchronous) {
       Envelope& e = next_slot();
       e.from = from;
@@ -76,7 +82,7 @@ class Mailbox {
   // Rvalue variant for callers handing over ownership.
   void send(NodeId from, NodeId to, Msg&& msg) {
     ++messages_sent_;
-    if (dropped()) return;
+    if (dropped(from, to)) return;
     if (tm_ == TimeModel::Synchronous) {
       Envelope& e = next_slot();
       e.from = from;
@@ -117,8 +123,8 @@ class Mailbox {
     Msg msg{};
   };
 
-  bool dropped() {
-    if (drop_probability_ > 0.0 && drop_rng_.bernoulli(drop_probability_)) {
+  bool dropped(NodeId from, NodeId to) {
+    if (!channel_.admits(from, to)) {
       ++messages_dropped_;
       return true;
     }
@@ -137,8 +143,7 @@ class Mailbox {
   std::unordered_set<std::uint64_t> seen_pairs_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
-  double drop_probability_ = 0.0;
-  Rng drop_rng_{0xD60FDA7Aull};  // reseeded by set_drop_probability
+  Channel channel_;  // ideal unless set_channel/set_drop_probability is called
 };
 
 }  // namespace ag::sim

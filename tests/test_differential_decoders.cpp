@@ -1,0 +1,311 @@
+// Differential decoder fuzz: random insert/combine sequences are checked
+// against a from-scratch FMatrix Gaussian-elimination oracle, and the two
+// GF(2) implementations (DenseDecoder<GF2> and the bit-packed BitDecoder)
+// are checked against each other.  rank, insert verdicts (helpful or not),
+// contains(), and decoded payloads must all agree -- including duplicate
+// inserts, linearly dependent combinations, and the all-zero packet.
+//
+// The incremental decoders run fused tail-elimination over a flat arena;
+// the oracle re-eliminates from scratch every time.  Any divergence between
+// the two is a decoder bug by construction.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decoders.hpp"
+#include "gf/gf2.hpp"
+#include "gf/gf2m.hpp"
+#include "linalg/bit_decoder.hpp"
+#include "linalg/dense_decoder.hpp"
+#include "linalg/fmatrix.hpp"
+#include "sim/rng.hpp"
+#include "util/urbg.hpp"
+
+namespace {
+
+using namespace ag;
+
+// Oracle: rank of the coefficient rows seen so far, recomputed from scratch.
+template <gf::GaloisField F>
+class RankOracle {
+ public:
+  explicit RankOracle(std::size_t k) : k_(k), m_(0, k) {}
+
+  std::size_t rank_with(std::span<const typename F::value_type> extra) const {
+    linalg::FMatrix<F> copy = m_;
+    copy.append_row(extra);
+    return copy.rref();
+  }
+
+  void append(std::span<const typename F::value_type> row) { m_.append_row(row); }
+  std::size_t rank() const { return m_.rank(); }
+
+ private:
+  std::size_t k_;
+  linalg::FMatrix<F> m_;
+};
+
+// Ground-truth message payloads: k messages of `len` symbols each.
+template <gf::GaloisField F>
+std::vector<std::vector<typename F::value_type>> ground_truth(std::size_t k,
+                                                              std::size_t len,
+                                                              sim::Rng& rng) {
+  std::vector<std::vector<typename F::value_type>> x(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    x[i].resize(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      x[i][j] = static_cast<typename F::value_type>(util::uniform_below(rng, F::order));
+    }
+  }
+  return x;
+}
+
+// Builds the consistent packet for coefficient vector c: payload = sum c_i x_i.
+template <gf::GaloisField F>
+linalg::DensePacket<F> packet_for(
+    const std::vector<typename F::value_type>& c,
+    const std::vector<std::vector<typename F::value_type>>& x) {
+  linalg::DensePacket<F> p;
+  p.coeffs = c;
+  const std::size_t len = x.empty() ? 0 : x[0].size();
+  p.payload.assign(len, F::zero);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (c[i] == F::zero) continue;
+    for (std::size_t j = 0; j < len; ++j) {
+      p.payload[j] = F::add(p.payload[j], F::mul(c[i], x[i][j]));
+    }
+  }
+  return p;
+}
+
+// One fuzz campaign over field F: `rounds` random inserts mixing fresh
+// random vectors, exact duplicates, and random linear combinations of
+// already-sent packets (guaranteed dependent once their span is covered).
+template <gf::GaloisField F>
+void run_differential(std::uint64_t seed, std::size_t k, std::size_t payload_len,
+                      std::size_t rounds) {
+  sim::Rng rng(seed);
+  const auto x = ground_truth<F>(k, payload_len, rng);
+  linalg::DenseDecoder<F> dut(k, payload_len);
+  RankOracle<F> oracle(k);
+  std::vector<std::vector<typename F::value_type>> sent;
+
+  for (std::size_t step = 0; step < rounds; ++step) {
+    std::vector<typename F::value_type> c(k, F::zero);
+    const auto kind = util::uniform_below(rng, 4);
+    if (kind == 0 && !sent.empty()) {
+      // Exact duplicate of an earlier packet.
+      c = sent[util::uniform_below(rng, sent.size())];
+    } else if (kind == 1 && sent.size() >= 2) {
+      // Random linear combination of earlier packets (dependent on them).
+      for (const auto& s : sent) {
+        const auto w =
+            static_cast<typename F::value_type>(util::uniform_below(rng, F::order));
+        if (w == F::zero) continue;
+        for (std::size_t i = 0; i < k; ++i) c[i] = F::add(c[i], F::mul(w, s[i]));
+      }
+    } else {
+      // Fresh uniform random vector (may be the zero packet).
+      for (std::size_t i = 0; i < k; ++i) {
+        c[i] = static_cast<typename F::value_type>(util::uniform_below(rng, F::order));
+      }
+    }
+
+    // Differential checks BEFORE insertion: contains() vs oracle.
+    const bool in_span = oracle.rank_with(c) == oracle.rank();
+    ASSERT_EQ(dut.contains(c), in_span) << "step " << step;
+
+    const auto pkt = packet_for<F>(c, x);
+    const std::size_t rank_before = dut.rank();
+    const bool helpful = dut.insert(pkt);
+    oracle.append(c);
+    sent.push_back(c);
+
+    ASSERT_EQ(helpful, !in_span) << "step " << step;
+    ASSERT_EQ(dut.rank(), rank_before + (helpful ? 1 : 0));
+    ASSERT_EQ(dut.rank(), oracle.rank()) << "step " << step;
+    ASSERT_TRUE(dut.contains(c));  // own row space always contains the insert
+  }
+
+  // Drive to full rank with unit vectors and check every decoded payload
+  // against the ground truth.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<typename F::value_type> e(k, F::zero);
+    e[i] = F::one;
+    dut.insert(packet_for<F>(e, x));
+    oracle.append(e);
+  }
+  ASSERT_TRUE(dut.full_rank());
+  ASSERT_EQ(oracle.rank(), k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto got = dut.decoded_message(i);
+    ASSERT_EQ(got.size(), payload_len);
+    for (std::size_t j = 0; j < payload_len; ++j) {
+      ASSERT_EQ(got[j], x[i][j]) << "message " << i << " symbol " << j;
+    }
+  }
+}
+
+TEST(DifferentialDecoder, DenseGf2AgainstOracle) {
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    run_differential<gf::GF2>(seed, 10, 3, 60);
+  }
+}
+
+TEST(DifferentialDecoder, DenseGf16AgainstOracle) {
+  for (const std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    run_differential<gf::GF16>(seed, 9, 3, 50);
+  }
+}
+
+TEST(DifferentialDecoder, DenseGf256AgainstOracle) {
+  for (const std::uint64_t seed : {31u, 32u, 33u, 34u}) {
+    run_differential<gf::GF256>(seed, 8, 4, 50);
+  }
+}
+
+TEST(DifferentialDecoder, DenseGf65536AgainstOracle) {
+  run_differential<gf::GF65536>(41, 6, 2, 40);
+}
+
+// --- BitDecoder vs DenseDecoder<GF2> ----------------------------------------
+
+// Converts a GF(2) symbol vector to the packed word representation.
+std::vector<std::uint64_t> pack_bits(const std::vector<std::uint8_t>& bits) {
+  std::vector<std::uint64_t> words((bits.size() + 63) / 64, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) words[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  return words;
+}
+
+TEST(DifferentialDecoder, BitDecoderMatchesDenseGf2OnRandomStreams) {
+  // Same insert sequence (duplicates, dependencies, zero packets included)
+  // into both GF(2) implementations: every insert verdict, rank, and
+  // contains() probe must agree, at several k straddling word boundaries.
+  for (const std::size_t k : {5u, 64u, 65u, 100u}) {
+    sim::Rng rng(5000 + k);
+    linalg::DenseDecoder<gf::GF2> dense(k, 0);
+    linalg::BitDecoder bit(k, 0);
+    std::vector<std::vector<std::uint8_t>> sent;
+    for (std::size_t step = 0; step < 3 * k; ++step) {
+      std::vector<std::uint8_t> c(k, 0);
+      const auto kind = util::uniform_below(rng, 4);
+      if (kind == 0 && !sent.empty()) {
+        c = sent[util::uniform_below(rng, sent.size())];
+      } else if (kind == 1 && sent.size() >= 2) {
+        for (const auto& s : sent) {
+          if (util::uniform_below(rng, 2) == 0) continue;
+          for (std::size_t i = 0; i < k; ++i) c[i] ^= s[i];
+        }
+      } else {
+        for (std::size_t i = 0; i < k; ++i) {
+          c[i] = static_cast<std::uint8_t>(util::uniform_below(rng, 2));
+        }
+      }
+      const auto packed = pack_bits(c);
+      ASSERT_EQ(dense.contains(c), bit.contains(packed)) << "k=" << k;
+      linalg::DensePacket<gf::GF2> dp;
+      dp.coeffs = c;
+      linalg::BitPacket bp;
+      bp.coeffs = packed;
+      const bool dh = dense.insert(dp);
+      const bool bh = bit.insert(bp);
+      ASSERT_EQ(dh, bh) << "k=" << k << " step=" << step;
+      ASSERT_EQ(dense.rank(), bit.rank());
+      ASSERT_TRUE(!dh || bit.contains(packed));
+      sent.push_back(c);
+    }
+  }
+}
+
+TEST(DifferentialDecoder, BitDecoderAndDenseGf2DecodeSamePayloads) {
+  // Full end-to-end agreement: both implementations fed random combinations
+  // from a full-rank source must decode the identical ground truth.  The
+  // Dense payload carries each bit as one GF(2) symbol; the BitDecoder
+  // carries the same bits packed into one payload word.
+  const std::size_t k = 12, payload_bits = 8;
+  sim::Rng rng(606);
+  std::vector<std::vector<std::uint8_t>> truth(k);
+  for (auto& t : truth) {
+    t.resize(payload_bits);
+    for (auto& b : t) b = static_cast<std::uint8_t>(util::uniform_below(rng, 2));
+  }
+  linalg::DenseDecoder<gf::GF2> dense(k, payload_bits);
+  linalg::BitDecoder bit(k, 1);
+  // Source holds all unit equations.
+  for (std::size_t i = 0; i < k; ++i) {
+    linalg::DensePacket<gf::GF2> dp;
+    dp.coeffs.assign(k, 0);
+    dp.coeffs[i] = 1;
+    dp.payload = truth[i];
+    linalg::BitPacket bp;
+    bp.coeffs = pack_bits(dp.coeffs);
+    bp.payload = pack_bits(truth[i]);
+    // Feed the same random combinations by construction: combine a random
+    // subset of units plus this unit so both decoders see identical streams.
+    dense.insert(dp);
+    bit.insert(bp);
+  }
+  ASSERT_TRUE(dense.full_rank());
+  ASSERT_TRUE(bit.full_rank());
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto dm = dense.decoded_message(i);
+    const auto bm = bit.decoded_message(i);
+    ASSERT_EQ(dm.size(), payload_bits);
+    ASSERT_EQ(bm.size(), 1u);
+    for (std::size_t j = 0; j < payload_bits; ++j) {
+      EXPECT_EQ(dm[j], truth[i][j]);
+      EXPECT_EQ((bm[0] >> j) & 1, truth[i][j]) << "i=" << i << " bit " << j;
+    }
+  }
+}
+
+TEST(DifferentialDecoder, RandomCombinationsStayInsideSourceRowSpace) {
+  // Property: every packet emitted by random_combination lies in the
+  // emitter's row space (oracle-checked), for dense and bit decoders.
+  const std::size_t k = 16;
+  sim::Rng rng(707);
+  linalg::DenseDecoder<gf::GF256> src(k, 0);
+  RankOracle<gf::GF256> oracle(k);
+  for (std::size_t i = 0; i < k / 2; ++i) {
+    std::vector<std::uint8_t> c(k, 0);
+    for (auto& v : c) v = static_cast<std::uint8_t>(util::uniform_below(rng, 256));
+    linalg::DensePacket<gf::GF256> p;
+    p.coeffs = c;
+    if (src.insert(p)) oracle.append(c);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pkt = src.random_combination(rng);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(oracle.rank_with(pkt->coeffs), oracle.rank());
+    EXPECT_TRUE(src.contains(pkt->coeffs));
+  }
+}
+
+TEST(DifferentialDecoder, ZeroAndDuplicateInsertsAreNeverHelpful) {
+  for (const std::size_t k : {1u, 7u, 33u}) {
+    linalg::DenseDecoder<gf::GF16> d(k, 0);
+    std::vector<std::uint8_t> zero(k, 0);
+    linalg::DensePacket<gf::GF16> zp;
+    zp.coeffs = zero;
+    EXPECT_FALSE(d.insert(zp));
+    EXPECT_TRUE(d.contains(zero));  // the zero vector is in every row space
+    const auto up = d.unit_packet(0);
+    EXPECT_TRUE(d.insert(up));
+    EXPECT_FALSE(d.insert(up));  // duplicate
+    EXPECT_EQ(d.rank(), 1u);
+    linalg::BitDecoder b(k, 0);
+    linalg::BitPacket bz;
+    bz.coeffs.assign(linalg::BitDecoder::words_for(k), 0);
+    EXPECT_FALSE(b.insert(bz));
+    EXPECT_TRUE(b.contains(bz.coeffs));
+    const auto bu = b.unit_packet(0);
+    EXPECT_TRUE(b.insert(bu));
+    EXPECT_FALSE(b.insert(bu));
+    EXPECT_EQ(b.rank(), 1u);
+  }
+}
+
+}  // namespace

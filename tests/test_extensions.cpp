@@ -63,11 +63,12 @@ TEST(WireBitsTest, TagSplitsPhase1AndPhase2Traffic) {
 TEST(WireBitsTest, PolicyMessageSizes) {
   const auto g = graph::make_complete(20);
   sim::Rng rng(7);
+  const sim::StaticTopology topo(g);
   BroadcastStpConfig bcfg;
-  BroadcastStpPolicy b(g, bcfg, rng);
+  BroadcastStpPolicy b(topo, bcfg, rng);
   EXPECT_DOUBLE_EQ(b.message_bits(), std::ceil(std::log2(20.0)));
   IsStpConfig icfg;
-  IsStpPolicy i(g, icfg, rng);
+  IsStpPolicy i(topo, icfg, rng);
   EXPECT_DOUBLE_EQ(i.message_bits(), 20.0);  // the full n-bit string
 }
 

@@ -1,0 +1,221 @@
+// Golden-trace determinism tests: exact stopping-round vectors for a fixed
+// (seed, protocol, graph) matrix, captured from the pre-dynamic-topology
+// implementation.  Any accidental RNG-stream drift -- an extra draw in a hot
+// path, a reordered sampler, a selector that consumes randomness it did not
+// before (the PR 2 bug class) -- fails these loudly instead of silently
+// shifting every statistic in the repo.
+//
+// If a change is SUPPOSED to alter the stream (e.g. a new sampler), the
+// goldens must be re-captured deliberately and the change called out in
+// review; that is the point.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/fixed_tree_ag.hpp"
+#include "core/parallel_experiment.hpp"
+#include "core/stp_policies.hpp"
+#include "core/stp_protocol.hpp"
+#include "core/tag.hpp"
+#include "core/uncoded_gossip.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ag;
+
+constexpr std::size_t kRuns = 4;
+constexpr std::uint64_t kBudget = 4000000;
+
+// Captured 2026-07 from the last pre-TopologyView commit; static-topology
+// runs must reproduce these exactly (stream identity).
+const std::vector<double>& golden(const std::string& name) {
+  static const std::vector<std::pair<std::string, std::vector<double>>> kGolden = {
+      {"uag_gf2_grid_sync", {18, 20, 17, 17}},
+      {"uag_gf2_grid_async", {18, 17, 17, 16}},
+      {"uag_gf2_grid_sync_loss25", {29, 23, 26, 21}},
+      {"uag_gf256_barbell_sync", {23, 30, 22, 17}},
+      {"tag_brr_barbell_sync", {46, 58, 46, 48}},
+      {"tag_brr_barbell_async", {47, 53, 51, 39}},
+      {"tag_is_barbell_sync", {58, 34, 52, 38}},
+      {"stp_brr_barbell_sync", {9, 10, 7, 11}},
+      {"uag_gf2_complete_async", {16, 16, 13, 15}},
+      {"uncoded_complete_sync", {13, 10, 27, 14}},
+      {"ftag_gf256_gridtree_sync", {11, 11, 11, 11}},
+      {"uag_gf2_cycle_push_sync", {53, 46, 44, 34}},
+      {"uag_gf2_cycle_pull_async", {39, 39, 38, 49}},
+  };
+  for (const auto& [key, vec] : kGolden) {
+    if (key == name) return vec;
+  }
+  ADD_FAILURE() << "no golden named " << name;
+  static const std::vector<double> kEmpty;
+  return kEmpty;
+}
+
+// Runs the experiment serially AND through the thread pool: both must equal
+// the golden (the parallel runner's byte-identity contract covers the static
+// protocols here; the dynamic ones are covered in test_dynamic_protocols).
+template <typename Make>
+void expect_golden(const std::string& name, Make&& make, std::uint64_t seed) {
+  const auto serial = core::stopping_rounds(make, kRuns, seed, kBudget);
+  EXPECT_EQ(serial, golden(name)) << name << " (serial)";
+  const auto parallel = core::parallel_stopping_rounds(make, kRuns, seed, kBudget, 4);
+  EXPECT_EQ(parallel, golden(name)) << name << " (parallel, 4 threads)";
+}
+
+TEST(GoldenTrace, UniformAgGf2GridSync) {
+  const auto g = graph::make_grid(4, 5);
+  expect_golden("uag_gf2_grid_sync", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(10, 20, rng);
+    core::AgConfig cfg;
+    return core::UniformAG<core::Gf2Decoder>(g, pl, cfg);
+  }, 101);
+}
+
+TEST(GoldenTrace, UniformAgGf2GridAsync) {
+  const auto g = graph::make_grid(4, 5);
+  expect_golden("uag_gf2_grid_async", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(10, 20, rng);
+    core::AgConfig cfg;
+    cfg.time_model = sim::TimeModel::Asynchronous;
+    return core::UniformAG<core::Gf2Decoder>(g, pl, cfg);
+  }, 102);
+}
+
+TEST(GoldenTrace, UniformAgGridSyncUnderLossChannelStreamCompat) {
+  // Pins the Channel refactor: the global-loss channel must consume the
+  // exact same drop stream the retired Mailbox drop_rng did, and must not
+  // perturb the simulation stream.
+  const auto g = graph::make_grid(4, 5);
+  expect_golden("uag_gf2_grid_sync_loss25", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(10, 20, rng);
+    core::AgConfig cfg;
+    cfg.drop_probability = 0.25;
+    cfg.drop_seed = rng();
+    return core::UniformAG<core::Gf2Decoder>(g, pl, cfg);
+  }, 105);
+}
+
+TEST(GoldenTrace, UniformAgGf256BarbellSync) {
+  const auto g = graph::make_barbell(16);
+  expect_golden("uag_gf256_barbell_sync", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(8, 16, rng);
+    core::AgConfig cfg;
+    cfg.payload_len = 2;
+    return core::UniformAG<core::Gf256Decoder>(g, pl, cfg);
+  }, 103);
+}
+
+TEST(GoldenTrace, TagBroadcastBarbellSync) {
+  const auto g = graph::make_barbell(16);
+  expect_golden("tag_brr_barbell_sync", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(6, 16, rng);
+    core::AgConfig cfg;
+    core::BroadcastStpConfig stp;
+    return core::Tag<core::Gf2Decoder, core::BroadcastStpPolicy>(g, pl, cfg, stp, rng);
+  }, 106);
+}
+
+TEST(GoldenTrace, TagBroadcastBarbellAsync) {
+  const auto g = graph::make_barbell(16);
+  expect_golden("tag_brr_barbell_async", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(6, 16, rng);
+    core::AgConfig cfg;
+    cfg.time_model = sim::TimeModel::Asynchronous;
+    core::BroadcastStpConfig stp;
+    return core::Tag<core::Gf2Decoder, core::BroadcastStpPolicy>(g, pl, cfg, stp, rng);
+  }, 107);
+}
+
+TEST(GoldenTrace, TagIsBarbellSync) {
+  const auto g = graph::make_barbell(16);
+  expect_golden("tag_is_barbell_sync", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(6, 16, rng);
+    core::AgConfig cfg;
+    core::IsStpConfig stp;
+    return core::Tag<core::Gf2Decoder, core::IsStpPolicy>(g, pl, cfg, stp, rng);
+  }, 110);
+}
+
+TEST(GoldenTrace, StpBroadcastBarbellSync) {
+  const auto g = graph::make_barbell(16);
+  expect_golden("stp_brr_barbell_sync", [&](sim::Rng& rng) {
+    core::BroadcastStpConfig stp;
+    return core::StpProtocol<core::BroadcastStpPolicy>(sim::TimeModel::Synchronous, g,
+                                                       stp, rng);
+  }, 109);
+}
+
+TEST(GoldenTrace, UniformAgGf2CompleteAsync) {
+  const auto g = graph::make_complete(16);
+  expect_golden("uag_gf2_complete_async", [&](sim::Rng& rng) {
+    (void)rng;
+    core::AgConfig cfg;
+    cfg.time_model = sim::TimeModel::Asynchronous;
+    return core::UniformAG<core::Gf2Decoder>(g, core::all_to_all(16), cfg);
+  }, 104);
+}
+
+TEST(GoldenTrace, UncodedCompleteSync) {
+  const auto g = graph::make_complete(12);
+  expect_golden("uncoded_complete_sync", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(6, 12, rng);
+    core::UncodedConfig cfg;
+    return core::UncodedGossip(g, pl, cfg);
+  }, 108);
+}
+
+TEST(GoldenTrace, FixedTreeAgGridTreeSync) {
+  const auto g = graph::make_grid(4, 5);
+  const auto tree = graph::bfs_tree(g, 0);
+  expect_golden("ftag_gf256_gridtree_sync", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(8, 20, rng);
+    core::AgConfig cfg;
+    cfg.payload_len = 1;
+    return core::FixedTreeAG<core::Gf256Decoder>(tree, pl, cfg);
+  }, 113);
+}
+
+TEST(GoldenTrace, UniformAgGf2CyclePushSync) {
+  const auto g = graph::make_cycle(16);
+  expect_golden("uag_gf2_cycle_push_sync", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(8, 16, rng);
+    core::AgConfig cfg;
+    cfg.direction = sim::Direction::Push;
+    return core::UniformAG<core::Gf2Decoder>(g, pl, cfg);
+  }, 111);
+}
+
+TEST(GoldenTrace, UniformAgGf2CyclePullAsync) {
+  const auto g = graph::make_cycle(16);
+  expect_golden("uag_gf2_cycle_pull_async", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(8, 16, rng);
+    core::AgConfig cfg;
+    cfg.time_model = sim::TimeModel::Asynchronous;
+    cfg.direction = sim::Direction::Pull;
+    return core::UniformAG<core::Gf2Decoder>(g, pl, cfg);
+  }, 112);
+}
+
+// A StaticTopology passed explicitly must be stream-identical to the
+// Graph-reference constructor (they are the same code path).
+TEST(GoldenTrace, ExplicitStaticTopologyMatchesGraphConstructor) {
+  const auto g = graph::make_grid(4, 5);
+  expect_golden("uag_gf2_grid_sync", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(10, 20, rng);
+    core::AgConfig cfg;
+    return core::UniformAG<core::Gf2Decoder>(
+        std::make_unique<sim::StaticTopology>(g), pl, cfg);
+  }, 101);
+}
+
+}  // namespace

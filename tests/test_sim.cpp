@@ -15,6 +15,7 @@
 #include "sim/partner.hpp"
 #include "sim/rng.hpp"
 #include "sim/time_model.hpp"
+#include "sim/topology.hpp"
 #include "util/urbg.hpp"
 
 namespace {
@@ -132,7 +133,8 @@ TEST(UrbgUtilTest, RandomBitsCoversRequestedWidth) {
 
 TEST(SelectorTest, UniformPicksOnlyNeighborsAndCoversAll) {
   const auto g = graph::make_star(6);  // node 0 center
-  sim::UniformSelector sel(g);
+  const sim::StaticTopology topo(g);
+  sim::UniformSelector sel(topo);
   sim::Rng rng(3);
   std::array<int, 6> hits{};
   for (int i = 0; i < 5000; ++i) {
@@ -148,7 +150,8 @@ TEST(SelectorTest, UniformPicksOnlyNeighborsAndCoversAll) {
 TEST(SelectorTest, RoundRobinCyclesThroughAllNeighborsInDegreeSteps) {
   const auto g = graph::make_complete(7);
   sim::Rng rng(4);
-  sim::RoundRobinSelector sel(g, rng);
+  const sim::StaticTopology topo(g);
+  sim::RoundRobinSelector sel(topo, rng);
   std::vector<NodeId> first_cycle, second_cycle;
   for (int i = 0; i < 6; ++i) first_cycle.push_back(sel.pick(2, rng));
   for (int i = 0; i < 6; ++i) second_cycle.push_back(sel.pick(2, rng));

@@ -1,0 +1,128 @@
+// Seeded Monte-Carlo bound checks as real ctest cases (not just bench smoke
+// runs): the barbell's super-linear blowup vs the complete graph, and the
+// ~1/(1-p) stopping-time scaling under message loss.  Every experiment is
+// fully seeded, so these are deterministic regressions with statistical
+// MEANING, not flaky statistical tests: the asserted tolerance bands are
+// wide enough that only a behavioral change (not sampling noise under the
+// pinned seeds) can cross them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/parallel_experiment.hpp"
+#include "core/uncoded_gossip.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ag;
+
+double mean(const std::vector<double>& xs) {
+  double s = 0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+std::vector<double> uag_rounds(const graph::Graph& g, std::size_t k, std::size_t runs,
+                               std::uint64_t seed, double loss = 0.0) {
+  return core::parallel_stopping_rounds(
+      [&](sim::Rng& rng) {
+        const auto pl = core::uniform_distinct(k, g.node_count(), rng);
+        core::AgConfig cfg;
+        if (loss > 0.0) {
+          cfg.drop_probability = loss;
+          cfg.drop_seed = rng();
+        }
+        return core::UniformAG<core::Gf2Decoder>(g, pl, cfg);
+      },
+      runs, seed, 10000000, 4);
+}
+
+// Theorem 2 / Section 1.1: uniform AG needs Omega(n^2) rounds on the
+// barbell but only O(n) on the complete graph (k = n/4 messages, sync).
+// The barbell/complete ratio must therefore GROW with n -- super-linear
+// separation -- and be large in absolute terms at moderate n.
+TEST(StatisticalBounds, BarbellGrowsSuperlinearlyVsCompleteGraph) {
+  const std::size_t runs = 12;
+  std::vector<double> ratio;
+  for (const std::size_t n : {16u, 32u}) {
+    const auto barbell = graph::make_barbell(n);
+    const auto complete = graph::make_complete(n);
+    const double mb = mean(uag_rounds(barbell, n / 4, runs, 9000 + n));
+    const double mc = mean(uag_rounds(complete, n / 4, runs, 9100 + n));
+    ratio.push_back(mb / mc);
+  }
+  // Complete graph is Theta(k) = Theta(n); barbell is Theta(n^2): the ratio
+  // should roughly double when n doubles.  Demand a 1.5x increase (wide
+  // band) and a substantial absolute gap at n = 32.
+  EXPECT_GT(ratio[0], 2.0);
+  EXPECT_GT(ratio[1], ratio[0] * 1.5);
+}
+
+// The barbell itself must scale super-linearly in n (Theta(n^2) with k
+// proportional to n: tripling n, with the n^2 term dominating, must cost
+// clearly more than the 3x of linear scaling; demand > 4x).
+TEST(StatisticalBounds, BarbellStoppingTimeScalesSuperlinearlyInN) {
+  const std::size_t runs = 12;
+  const double m16 = mean(uag_rounds(graph::make_barbell(16), 8, runs, 9201));
+  const double m48 = mean(uag_rounds(graph::make_barbell(48), 24, runs, 9202));
+  EXPECT_GT(m48 / m16, 4.0) << "m16=" << m16 << " m48=" << m48;
+}
+
+// ...while on the complete graph the same tripling stays near-linear.
+TEST(StatisticalBounds, CompleteGraphStoppingTimeStaysNearLinearInN) {
+  const std::size_t runs = 12;
+  const double m16 = mean(uag_rounds(graph::make_complete(16), 8, runs, 9301));
+  const double m48 = mean(uag_rounds(graph::make_complete(48), 24, runs, 9302));
+  EXPECT_LT(m48 / m16, 4.0) << "m16=" << m16 << " m48=" << m48;
+  EXPECT_GT(m48 / m16, 1.0);
+}
+
+// Loss scaling (the robustness_loss bench's claim, asserted as a ctest):
+// each surviving transmission is statistically interchangeable with any
+// other coded packet, so stopping time should inflate like ~1/(1-p).
+// Band: inflation within [0.8, 2.0] x the erasure-capacity ideal.
+TEST(StatisticalBounds, LossInflationTracksErasureCapacity) {
+  const auto g = graph::make_grid(6, 6);
+  const std::size_t k = 18, runs = 12;
+  const double base = mean(uag_rounds(g, k, runs, 9400));
+  for (const double p : {0.25, 0.5}) {
+    const double lossy = mean(uag_rounds(g, k, runs, 9400, p));
+    const double inflation = lossy / base;
+    const double ideal = 1.0 / (1.0 - p);
+    EXPECT_GT(inflation, 0.8 * ideal) << "p=" << p;
+    EXPECT_LT(inflation, 2.0 * ideal) << "p=" << p;
+  }
+}
+
+// Under loss, coded gossip's advantage over the uncoded baseline must not
+// shrink: the uncoded protocol re-loses specific blocks it already paid
+// coupon-collector time for, RLNC does not.
+TEST(StatisticalBounds, CodedBeatsUncodedUnderHeavyLoss) {
+  const auto g = graph::make_complete(24);
+  const std::size_t runs = 10;
+  const double coded = mean(core::parallel_stopping_rounds(
+      [&](sim::Rng& rng) {
+        core::AgConfig cfg;
+        cfg.drop_probability = 0.5;
+        cfg.drop_seed = rng();
+        return core::UniformAG<core::Gf2Decoder>(g, core::all_to_all(24), cfg);
+      },
+      runs, 9500, 10000000, 4));
+  const double uncoded = mean(core::parallel_stopping_rounds(
+      [&](sim::Rng& rng) {
+        core::UncodedConfig cfg;
+        cfg.drop_probability = 0.5;
+        cfg.drop_seed = rng();
+        return core::UncodedGossip(g, core::all_to_all(24), cfg);
+      },
+      runs, 9501, 10000000, 4));
+  EXPECT_GT(uncoded, coded) << "coded=" << coded << " uncoded=" << uncoded;
+}
+
+}  // namespace
