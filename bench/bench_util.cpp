@@ -4,7 +4,117 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "gf/backend/backend.hpp"
+
 namespace agbench {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AG_BENCH_JSON recorder: print_header opens it, Table::print and verdict()
+// append to it, and an atexit hook serialises it.  All state is process-wide
+// because each harness is one process producing one JSON document.
+// ---------------------------------------------------------------------------
+struct JsonRecord {
+  bool enabled = false;
+  std::string path;
+  std::string artifact;
+  std::string claim;
+  struct Tab {
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::vector<Tab> tables;
+  std::vector<std::pair<bool, std::string>> verdicts;
+};
+
+JsonRecord& record() {
+  static JsonRecord r;
+  return r;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void append_string_array(std::string& out, const std::vector<std::string>& xs) {
+  out += '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += json_escape(xs[i]);
+    out += '"';
+  }
+  out += ']';
+}
+
+void flush_json() {
+  JsonRecord& r = record();
+  if (!r.enabled) return;
+  std::string out = "{\n";
+  out += "  \"artifact\": \"" + json_escape(r.artifact) + "\",\n";
+  out += "  \"claim\": \"" + json_escape(r.claim) + "\",\n";
+  out += "  \"params\": {";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "\"scale\": %g, \"seeds\": %zu, \"threads\": %zu, ", scale(),
+                seeds(), threads());
+  out += buf;
+  out += "\"gf_backend\": \"";
+  out += ag::gf::backend::active().name;
+  out += "\"},\n";
+  out += "  \"tables\": [";
+  for (std::size_t t = 0; t < r.tables.size(); ++t) {
+    if (t != 0) out += ',';
+    out += "\n    {\"headers\": ";
+    append_string_array(out, r.tables[t].headers);
+    out += ", \"rows\": [";
+    for (std::size_t i = 0; i < r.tables[t].rows.size(); ++i) {
+      if (i != 0) out += ',';
+      out += "\n      ";
+      append_string_array(out, r.tables[t].rows[i]);
+    }
+    out += "]}";
+  }
+  out += "\n  ],\n";
+  out += "  \"verdicts\": [";
+  for (std::size_t i = 0; i < r.verdicts.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "\n    {\"pass\": ";
+    out += r.verdicts[i].first ? "true" : "false";
+    out += ", \"note\": \"" + json_escape(r.verdicts[i].second) + "\"}";
+  }
+  out += "\n  ]\n}\n";
+
+  if (std::FILE* f = std::fopen(r.path.c_str(), "w")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "bench_util: cannot write AG_BENCH_JSON file %s\n",
+                 r.path.c_str());
+  }
+}
+
+}  // namespace
 
 double scale() {
   if (const char* s = std::getenv("AG_BENCH_SCALE")) {
@@ -38,7 +148,22 @@ void print_header(const std::string& artifact, const std::string& claim) {
   std::printf("\n================================================================================\n");
   std::printf("%s\n", artifact.c_str());
   std::printf("claim: %s\n", claim.c_str());
+  // Provenance: which GF kernel backend and how many workers produced these
+  // numbers (the backend never changes results; threads never change them
+  // either -- but a recorded run should say what it ran on).
+  std::printf("gf backend: %s | threads: %zu\n", ag::gf::backend::active().name,
+              threads());
   std::printf("================================================================================\n");
+
+  if (const char* p = std::getenv("AG_BENCH_JSON"); p != nullptr && *p) {
+    JsonRecord& r = record();
+    const bool first = !r.enabled;
+    r.enabled = true;
+    r.path = p;
+    r.artifact = artifact;
+    r.claim = claim;
+    if (first) std::atexit(flush_json);
+  }
 }
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
@@ -65,6 +190,8 @@ void Table::print() const {
   for (auto w : width) total += w + 2;
   std::printf("%s\n", std::string(total, '-').c_str());
   for (const auto& row : rows_) print_row(row);
+
+  if (record().enabled) record().tables.push_back({headers_, rows_});
 }
 
 std::string fmt(double v, int precision) {
@@ -81,6 +208,7 @@ std::string fmt_int(std::uint64_t v) {
 
 void verdict(bool pass, const std::string& note) {
   std::printf("VERDICT: %s - %s\n", pass ? "PASS" : "CHECK", note.c_str());
+  if (record().enabled) record().verdicts.emplace_back(pass, note);
 }
 
 double mean(const std::vector<double>& xs) {

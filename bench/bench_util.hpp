@@ -1,13 +1,22 @@
 // Shared helpers for the table/figure reproduction harnesses.
 //
 // Every bench binary prints: a header naming the paper artifact it
-// regenerates, the claim under test, a fixed-width table of results, and a
-// VERDICT line summarising whether the measured shape matches the paper.
-// Sweep sizes scale with AG_BENCH_SCALE (default 1; >1 for deeper sweeps),
-// seed counts with AG_BENCH_SEEDS (default 8), and worker threads with
-// AG_THREADS (default 1 = serial; 0 = all hardware threads).  Thread count
-// never changes the numbers: the parallel runner is byte-identical to the
-// serial one for the same (seed, runs).
+// regenerates, the claim under test, a provenance line (selected GF backend
+// and worker thread count, so recorded results are reproducible), a
+// fixed-width table of results, and a VERDICT line summarising whether the
+// measured shape matches the paper.  Sweep sizes scale with AG_BENCH_SCALE
+// (default 1; >1 for deeper sweeps), seed counts with AG_BENCH_SEEDS
+// (default 8), and worker threads with AG_THREADS (default 1 = serial;
+// 0 = all hardware threads).  Thread count never changes the numbers: the
+// parallel runner is byte-identical to the serial one for the same
+// (seed, runs).
+//
+// Machine-readable output: when AG_BENCH_JSON=<path> is set, the harness
+// additionally writes everything it printed -- artifact, claim, the
+// env-knob parameters, every table, every verdict -- as a JSON document to
+// <path> at exit, so sweep results can be collected and diffed across
+// commits.  (The google-benchmark micro harnesses honour the same variable
+// via --benchmark_out.)
 #pragma once
 
 #include <cstdint>
@@ -32,9 +41,13 @@ std::vector<double> stopping_rounds(MakeProto&& make, std::size_t runs,
                                             max_rounds, threads());
 }
 
+// Prints the harness header (artifact, claim, GF backend + thread
+// provenance) and, if AG_BENCH_JSON is set, opens the JSON record for this
+// run (flushed automatically at exit).
 void print_header(const std::string& artifact, const std::string& claim);
 
-// Minimal fixed-width table printer.
+// Minimal fixed-width table printer.  Printed tables are also captured into
+// the AG_BENCH_JSON record.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers);
@@ -49,7 +62,8 @@ class Table {
 std::string fmt(double v, int precision = 1);
 std::string fmt_int(std::uint64_t v);
 
-// Prints "VERDICT: PASS - <note>" or "VERDICT: CHECK - <note>".
+// Prints "VERDICT: PASS - <note>" or "VERDICT: CHECK - <note>" (also
+// captured into the AG_BENCH_JSON record).
 void verdict(bool pass, const std::string& note);
 
 double mean(const std::vector<double>& xs);

@@ -1,11 +1,17 @@
 // E8 -- micro benchmarks for the incremental decoders (google-benchmark):
 // insert cost (the per-received-packet work of every gossip node) and
 // random_combination cost (the per-transmission work), dense GF(256) vs
-// bit-packed GF(2).
+// bit-packed GF(2).  Both run on whatever GF kernel backend the dispatcher
+// selected (force with AG_GF_BACKEND to compare).
+//
+// AG_BENCH_JSON=<path> writes google-benchmark's JSON report to <path>, same
+// knob as the table harnesses.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <vector>
+
+#include "micro_main.hpp"
 
 #include "linalg/bit_decoder.hpp"
 #include "linalg/dense_decoder.hpp"
@@ -81,4 +87,4 @@ BENCHMARK(BM_BitRandomCombination)->Arg(64)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return agbench::run_micro_main(argc, argv); }

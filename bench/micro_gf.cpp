@@ -1,15 +1,25 @@
 // E8 -- micro benchmarks for the finite-field substrate (google-benchmark).
 //
 // These are the instruction-level hot loops of the library: scalar GF
-// multiply, axpy over coefficient rows (generic vs the GF(256) row-table
-// variant), and the word-parallel GF(2) XOR the bit-packed decoder uses.
+// multiply, axpy over coefficient rows (via the runtime-dispatched backend),
+// and the word-parallel GF(2) XOR the bit-packed decoder uses.  Every
+// available GF kernel backend (scalar / ssse3 / avx2) gets its own axpy,
+// scale and xor_words series, registered at startup, so one run prints the
+// scalar-vs-SIMD throughput table directly.
+//
+// AG_BENCH_JSON=<path> writes google-benchmark's JSON report (including
+// bytes_per_second for the throughput benches) to <path>, same knob as the
+// table harnesses.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "gf/backend/backend.hpp"
 #include "gf/bulk_ops.hpp"
 #include "gf/gf2m.hpp"
+#include "micro_main.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -59,7 +69,9 @@ void BM_GF65536_Mul(benchmark::State& state) {
 }
 BENCHMARK(BM_GF65536_Mul);
 
-void BM_Axpy_Generic(benchmark::State& state) {
+// axpy through the public dispatcher (whatever backend is active, i.e. what
+// the decoders actually get).
+void BM_Axpy_Dispatched(benchmark::State& state) {
   const auto len = static_cast<std::size_t>(state.range(0));
   auto dst = random_bytes(len, 5);
   const auto src = random_bytes(len, 6);
@@ -70,36 +82,71 @@ void BM_Axpy_Generic(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(len));
 }
-BENCHMARK(BM_Axpy_Generic)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_Axpy_Dispatched)->Arg(64)->Arg(1024)->Arg(16384);
 
-void BM_Axpy_Gf256Table(benchmark::State& state) {
+// Per-backend kernel series, registered in main() for each backend this
+// build + CPU supports.
+void BM_Axpy_Backend(benchmark::State& state,
+                     const ag::gf::backend::KernelTable* kt) {
   const auto len = static_cast<std::size_t>(state.range(0));
   auto dst = random_bytes(len, 7);
   const auto src = random_bytes(len, 8);
   for (auto _ : state) {
-    ag::gf::axpy_gf256(dst, src, std::uint8_t{37});
+    kt->axpy_u8(dst.data(), src.data(), len, std::uint8_t{37});
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(len));
 }
-BENCHMARK(BM_Axpy_Gf256Table)->Arg(64)->Arg(1024)->Arg(16384);
 
-void BM_XorWords(benchmark::State& state) {
+void BM_Scale_Backend(benchmark::State& state,
+                      const ag::gf::backend::KernelTable* kt) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  auto dst = random_bytes(len, 9);
+  for (auto _ : state) {
+    kt->scale_u8(dst.data(), len, std::uint8_t{37});
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+
+void BM_XorWords_Backend(benchmark::State& state,
+                         const ag::gf::backend::KernelTable* kt) {
   const auto words = static_cast<std::size_t>(state.range(0));
-  ag::sim::Rng rng(9);
+  ag::sim::Rng rng(10);
   std::vector<std::uint64_t> dst(words), src(words);
   for (auto& x : dst) x = rng();
   for (auto& x : src) x = rng();
   for (auto _ : state) {
-    ag::gf::xor_words(dst, src);
+    kt->xor_words(dst.data(), src.data(), words);
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(words) * 8);
 }
-BENCHMARK(BM_XorWords)->Arg(4)->Arg(64)->Arg(1024);
+
+void register_backend_benches() {
+  namespace be = ag::gf::backend;
+  for (const be::Backend b : be::available_backends()) {
+    const be::KernelTable* kt = be::table_for(b);
+    const std::string name = be::to_string(b);
+    benchmark::RegisterBenchmark(("BM_Axpy_" + name).c_str(), BM_Axpy_Backend, kt)
+        ->Arg(64)
+        ->Arg(1024)
+        ->Arg(16384);
+    benchmark::RegisterBenchmark(("BM_Scale_" + name).c_str(), BM_Scale_Backend, kt)
+        ->Arg(1024);
+    benchmark::RegisterBenchmark(("BM_XorWords_" + name).c_str(),
+                                 BM_XorWords_Backend, kt)
+        ->Arg(4)
+        ->Arg(64)
+        ->Arg(1024);
+  }
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return agbench::run_micro_main(argc, argv, register_backend_benches);
+}

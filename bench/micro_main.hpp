@@ -1,0 +1,45 @@
+// Shared main() for the google-benchmark micro harnesses.
+//
+// Maps the repo-wide AG_BENCH_JSON knob onto google-benchmark's JSON
+// reporter, prints the dispatched GF backend as provenance, and runs the
+// standard Initialize / Run / Shutdown sequence.  Header-only so the micro
+// binaries don't need bench_util's (benchmark-free) static library to grow a
+// google-benchmark dependency.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gf/backend/backend.hpp"
+
+namespace agbench {
+
+// `pre_register` (optional) runs before Initialize so harnesses can
+// RegisterBenchmark dynamic series (e.g. one per available GF backend).
+inline int run_micro_main(int argc, char** argv,
+                          void (*pre_register)() = nullptr) {
+  std::vector<char*> args(argv, argv + argc);
+  // AG_BENCH_JSON=<path>: same knob as the table harnesses, mapped onto
+  // google-benchmark's JSON reporter.
+  std::string out_flag, fmt_flag;
+  if (const char* p = std::getenv("AG_BENCH_JSON"); p != nullptr && *p) {
+    out_flag = std::string("--benchmark_out=") + p;
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  std::printf("gf backend (dispatched): %s\n", ag::gf::backend::active().name);
+  if (pre_register != nullptr) pre_register();
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace agbench

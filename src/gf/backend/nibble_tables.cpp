@@ -1,0 +1,29 @@
+#include "gf/backend/nibble_tables.hpp"
+
+#include "gf/gf2m.hpp"
+
+namespace ag::gf::backend::detail {
+
+namespace {
+
+NibbleTables build() noexcept {
+  NibbleTables t{};
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned x = 0; x < 16; ++x) {
+      t.lo[c][x] = GF256::mul(static_cast<std::uint8_t>(c),
+                              static_cast<std::uint8_t>(x));
+      t.hi[c][x] = GF256::mul(static_cast<std::uint8_t>(c),
+                              static_cast<std::uint8_t>(x << 4));
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+const NibbleTables& nibble_tables() noexcept {
+  static const NibbleTables t = build();
+  return t;
+}
+
+}  // namespace ag::gf::backend::detail

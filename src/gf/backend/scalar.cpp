@@ -1,0 +1,66 @@
+// Portable scalar reference kernels.
+//
+// These are the pre-backend loops of bulk_ops.hpp, verbatim: per-byte log/exp
+// table multiplication with a zero-operand guard.  Every SIMD backend is
+// differentially tested against this implementation (GF arithmetic is exact,
+// so "reference" means byte-identical, not approximately equal).
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "gf/backend/backend.hpp"
+#include "gf/gf2m.hpp"
+
+namespace ag::gf::backend {
+
+namespace {
+
+void xor_bytes_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_words_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+void axpy_u8_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                    std::uint8_t c) noexcept {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_bytes_scalar(dst, src, n);
+    return;
+  }
+  const auto& t = gf::detail::tables<8, 0x11D>();
+  const std::uint32_t logc = t.log_[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp_[logc + t.log_[s]];
+  }
+}
+
+void scale_u8_scalar(std::uint8_t* dst, std::size_t n, std::uint8_t c) noexcept {
+  if (c == 1) return;
+  if (c == 0) {
+    if (n != 0) std::memset(dst, 0, n);
+    return;
+  }
+  const auto& t = gf::detail::tables<8, 0x11D>();
+  const std::uint32_t logc = t.log_[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t d = dst[i];
+    if (d != 0) dst[i] = t.exp_[logc + t.log_[d]];
+  }
+}
+
+constexpr KernelTable kScalarTable{
+    axpy_u8_scalar, scale_u8_scalar, xor_bytes_scalar, xor_words_scalar,
+    "scalar",
+};
+
+}  // namespace
+
+const KernelTable& detail::scalar_kernels() noexcept { return kScalarTable; }
+
+}  // namespace ag::gf::backend

@@ -1,0 +1,112 @@
+// SSSE3 GF(256) kernels: 16 bytes per step via PSHUFB split-nibble tables.
+//
+// Compiled with -mssse3 only on x86 targets whose compiler supports it (the
+// build sets AG_GF_ENABLE_SSSE3 alongside the flag); otherwise this file
+// degrades to a stub provider returning nullptr.  Runtime CPU support is
+// checked separately by the dispatcher -- compiling the kernels does not mean
+// the host can execute them.
+//
+// All loads/stores of caller data are unaligned (correct for any buffer);
+// the nibble-table rows are 16-byte aligned, so those use aligned loads.
+// Tail bytes past the last full vector run through the shared scalar
+// nibble-table loop, which computes the identical GF product.
+#include "gf/backend/backend.hpp"
+#include "gf/backend/nibble_tables.hpp"
+
+#if defined(AG_GF_ENABLE_SSSE3)
+
+#include <tmmintrin.h>
+
+namespace ag::gf::backend {
+
+namespace {
+
+void xor_bytes_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_words_ssse3(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void axpy_u8_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                   std::uint8_t c) noexcept {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_bytes_ssse3(dst, src, n);
+    return;
+  }
+  const auto& nt = detail::nibble_tables();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i ph =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(pl, ph)));
+  }
+  detail::axpy_u8_tail(dst + i, src + i, n - i, nt.lo[c], nt.hi[c]);
+}
+
+void scale_u8_ssse3(std::uint8_t* dst, std::size_t n, std::uint8_t c) noexcept {
+  if (c == 1) return;
+  if (c == 0) {
+    const __m128i z = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16)
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), z);
+    for (; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const auto& nt = detail::nibble_tables();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(d, mask));
+    const __m128i ph =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(d, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(pl, ph));
+  }
+  detail::scale_u8_tail(dst + i, n - i, nt.lo[c], nt.hi[c]);
+}
+
+constexpr KernelTable kSsse3Table{
+    axpy_u8_ssse3, scale_u8_ssse3, xor_bytes_ssse3, xor_words_ssse3,
+    "ssse3",
+};
+
+}  // namespace
+
+const KernelTable* detail::ssse3_kernels() noexcept { return &kSsse3Table; }
+
+}  // namespace ag::gf::backend
+
+#else  // !AG_GF_ENABLE_SSSE3
+
+namespace ag::gf::backend {
+const KernelTable* detail::ssse3_kernels() noexcept { return nullptr; }
+}  // namespace ag::gf::backend
+
+#endif

@@ -12,7 +12,10 @@
 // per-decoder scratch -- zero steady-state allocations.  Stored rows are
 // zero before their pivot word (first set bit = pivot), so eliminations XOR
 // only the [pivot_word, stride) tail, coefficient words and payload fused
-// in one xor_words call.
+// in one xor_words call.  The arena is 32-byte aligned with the row stride
+// padded to a 4-word (32-byte) multiple -- pad words stay zero and are never
+// read -- so every stripe starts on a 32-byte boundary for the SIMD backend's
+// vector XOR (gf/backend/); stride() keeps reporting the logical words.
 #pragma once
 
 #include <algorithm>
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "gf/bulk_ops.hpp"
+#include "util/aligned.hpp"
 #include "util/urbg.hpp"
 
 namespace ag::linalg {
@@ -49,9 +53,11 @@ class BitDecoder {
       : k_(k),
         words_(words_for(k)),
         payload_words_(payload_words),
+        row_stride_(util::round_up_elems<32, sizeof(std::uint64_t)>(
+            words_for(k) + payload_words)),
         pivot_row_(k, npos) {
-    arena_.reserve(k_ * stride());
-    scratch_.resize(stride());
+    arena_.reserve(k_ * row_stride_);
+    scratch_.resize(row_stride_);
   }
 
   static constexpr std::size_t words_for(std::size_t bits) noexcept {
@@ -97,7 +103,7 @@ class BitDecoder {
     std::uint64_t* row = scratch_.data();
     std::copy(pkt.coeffs.begin(), pkt.coeffs.end(), row);
     std::copy(pkt.payload.begin(), pkt.payload.begin() + plen, row + words_);
-    std::fill(row + words_ + plen, row + stride(), 0);
+    std::fill(row + words_ + plen, row + row_stride_, 0);  // incl. stride pad
 
     // Full forward elimination: clear every set bit that collides with a
     // stored pivot (not just up to the first pivot-free column -- the stored
@@ -210,7 +216,7 @@ class BitDecoder {
     if (rank_ == 0) return false;
     const std::uint64_t* r = row_ptr(util::uniform_below(rng, rank_));
     out.coeffs.assign(r, r + words_);
-    out.payload.assign(r + words_, r + stride());
+    out.payload.assign(r + words_, r + words_ + payload_words_);
     return true;
   }
 
@@ -257,9 +263,11 @@ class BitDecoder {
  private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  std::uint64_t* row_ptr(std::size_t i) noexcept { return arena_.data() + i * stride(); }
+  std::uint64_t* row_ptr(std::size_t i) noexcept {
+    return arena_.data() + i * row_stride_;
+  }
   const std::uint64_t* row_ptr(std::size_t i) const noexcept {
-    return arena_.data() + i * stride();
+    return arena_.data() + i * row_stride_;
   }
 
   // The [w, stride) word-tail of a row stripe: coefficient words w..words_
@@ -271,13 +279,19 @@ class BitDecoder {
     return {row + w, stride() - w};
   }
 
+  // 32-byte-aligned storage: aligned base + padded stride keeps every row
+  // stripe on a 32-byte boundary (the SIMD kernels' fast path).
+  using aligned_vector =
+      std::vector<std::uint64_t, util::AlignedAllocator<std::uint64_t, 32>>;
+
   std::size_t k_;
   std::size_t words_;
   std::size_t payload_words_;
+  std::size_t row_stride_;  // stride() padded up to a 4-word multiple
   std::size_t rank_ = 0;
-  std::vector<std::uint64_t> arena_;       // rank_ stripes of stride() words
-  std::vector<std::uint64_t> scratch_;     // staging stripe for insert()
-  mutable std::vector<std::uint64_t> contains_scratch_;  // words_ words
+  aligned_vector arena_;    // rank_ stripes of row_stride_ words
+  aligned_vector scratch_;  // staging stripe for insert()
+  mutable aligned_vector contains_scratch_;  // words_ words
   std::vector<std::size_t> pivot_row_;
 };
 

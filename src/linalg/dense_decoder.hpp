@@ -19,6 +19,13 @@
 // reserved at full-rank capacity up front and `insert`, `contains` and the
 // `*_into` combination builders reuse per-decoder scratch buffers.
 //
+// The arena is 32-byte aligned and rows are laid out at a stride padded up
+// to a 32-byte multiple (pad symbols stay zero and are never read), so every
+// row stripe starts on a 32-byte boundary and the SIMD GF backend's vector
+// loops (gf/backend/) never straddle a cache line at AVX2 width.  stride()
+// keeps reporting the LOGICAL symbols per row; the padding is private
+// layout.
+//
 // Elimination exploits the RREF prefix invariant (every stored row is zero
 // strictly before its pivot column, proved in insert() below): eliminating
 // at column p only ever touches columns >= p, so all axpys run on the
@@ -36,6 +43,7 @@
 
 #include "gf/bulk_ops.hpp"
 #include "gf/field_concept.hpp"
+#include "util/aligned.hpp"
 #include "util/urbg.hpp"
 
 namespace ag::linalg {
@@ -66,9 +74,12 @@ class DenseDecoder {
   // The row arena is reserved at full-rank capacity so inserts never
   // reallocate.
   explicit DenseDecoder(std::size_t k, std::size_t payload_len = 0)
-      : k_(k), payload_len_(payload_len), pivot_row_(k, npos) {
-    arena_.reserve(k_ * stride());
-    scratch_.resize(stride());
+      : k_(k),
+        payload_len_(payload_len),
+        row_stride_(util::round_up_elems<32, sizeof(value_type)>(k + payload_len)),
+        pivot_row_(k, npos) {
+    arena_.reserve(k_ * row_stride_);
+    scratch_.resize(row_stride_);
   }
 
   std::size_t message_count() const noexcept { return k_; }
@@ -119,7 +130,7 @@ class DenseDecoder {
     value_type* row = scratch_.data();
     std::copy(pkt.coeffs.begin(), pkt.coeffs.end(), row);
     std::copy(pkt.payload.begin(), pkt.payload.begin() + plen, row + k_);
-    std::fill(row + k_ + plen, row + stride(), F::zero);
+    std::fill(row + k_ + plen, row + row_stride_, F::zero);  // incl. stride pad
 
     // Fused forward elimination + pivot search, left to right.  Eliminating
     // at column p uses the stored row whose pivot is p; that row is zero
@@ -235,7 +246,7 @@ class DenseDecoder {
     if (rank_ == 0) return false;
     const value_type* r = row_ptr(util::uniform_below(rng, rank_));
     out.coeffs.assign(r, r + k_);
-    out.payload.assign(r + k_, r + stride());
+    out.payload.assign(r + k_, r + k_ + payload_len_);
     return true;
   }
 
@@ -284,9 +295,11 @@ class DenseDecoder {
  private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  value_type* row_ptr(std::size_t i) noexcept { return arena_.data() + i * stride(); }
+  value_type* row_ptr(std::size_t i) noexcept {
+    return arena_.data() + i * row_stride_;
+  }
   const value_type* row_ptr(std::size_t i) const noexcept {
-    return arena_.data() + i * stride();
+    return arena_.data() + i * row_stride_;
   }
 
   // The [p, stride) tail of a row stripe: coefficient columns p..k plus the
@@ -298,12 +311,17 @@ class DenseDecoder {
     return {row + p, stride() - p};
   }
 
+  // 32-byte-aligned storage: every row stripe starts on a 32-byte boundary
+  // (aligned base + padded stride), which is the SIMD kernels' fast path.
+  using aligned_vector = std::vector<value_type, util::AlignedAllocator<value_type, 32>>;
+
   std::size_t k_;
   std::size_t payload_len_;
+  std::size_t row_stride_;  // stride() padded up to a 32-byte multiple
   std::size_t rank_ = 0;
-  std::vector<value_type> arena_;       // rank_ stripes of stride() symbols
-  std::vector<value_type> scratch_;     // staging stripe for insert()
-  mutable std::vector<value_type> contains_scratch_;  // k_ symbols
+  aligned_vector arena_;    // rank_ stripes of row_stride_ symbols
+  aligned_vector scratch_;  // staging stripe for insert()
+  mutable aligned_vector contains_scratch_;  // k_ symbols
   std::vector<std::size_t> pivot_row_;  // pivot column -> row index, npos if none
 };
 

@@ -1,0 +1,61 @@
+// Over-aligned allocator for the decoder row arenas.
+//
+// The SIMD GF kernels (gf/backend/) are correct on any buffer -- they use
+// unaligned loads/stores -- but a 32-byte-aligned row never straddles a cache
+// line at AVX2 width, so the decoders allocate their arenas through this
+// allocator and pad the row stride to a 32-byte multiple (see
+// linalg/dense_decoder.hpp): every row stripe then starts on a 32-byte
+// boundary and the elimination axpys run on the aligned fast path.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+
+namespace ag::util {
+
+template <typename T, std::size_t Align = 32>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T), "Align must not weaken T's alignment");
+  static_assert((Align & (Align - 1)) == 0, "Align must be a power of two");
+
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+  using is_always_equal = std::true_type;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+// Rounds a count of ElemSize-byte elements up so the total is a multiple of
+// `Align` bytes (used to pad row strides).  ElemSize must divide Align, or
+// no element-count multiple can land on an Align boundary at all -- enforced
+// at compile time rather than silently producing a non-aligning stride.
+template <std::size_t Align, std::size_t ElemSize>
+constexpr std::size_t round_up_elems(std::size_t count) noexcept {
+  static_assert(ElemSize > 0 && Align % ElemSize == 0,
+                "element size must divide the alignment");
+  constexpr std::size_t per = Align / ElemSize;  // elements per aligned block
+  return (count + per - 1) / per * per;
+}
+
+}  // namespace ag::util
