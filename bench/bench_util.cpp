@@ -1,8 +1,13 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "gf/backend/backend.hpp"
 
@@ -26,6 +31,8 @@ struct JsonRecord {
   };
   std::vector<Tab> tables;
   std::vector<std::pair<bool, std::string>> verdicts;
+  std::vector<std::string> graphs;
+  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
 };
 
 JsonRecord& record() {
@@ -82,6 +89,17 @@ void flush_json() {
   out += "\"gf_backend\": \"";
   out += ag::gf::backend::active().name;
   out += "\"},\n";
+  // Perf/memory trajectory: peak RSS and wall clock make BENCH_*.json
+  // diffable across commits for the scaling sweeps, not just the verdicts.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - r.start).count();
+  std::snprintf(buf, sizeof(buf),
+                "  \"peak_rss_bytes\": %zu,\n  \"elapsed_seconds\": %.3f,\n",
+                peak_rss_bytes(), elapsed);
+  out += buf;
+  out += "  \"graphs\": ";
+  append_string_array(out, r.graphs);
+  out += ",\n";
   out += "  \"tables\": [";
   for (std::size_t t = 0; t < r.tables.size(); ++t) {
     if (t != 0) out += ',';
@@ -142,6 +160,24 @@ std::size_t threads() {
     }
   }
   return 1;  // default: serial, same numbers either way
+}
+
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+void record_graph(const std::string& summary) {
+  if (record().enabled) record().graphs.push_back(summary);
 }
 
 void print_header(const std::string& artifact, const std::string& claim) {

@@ -15,8 +15,11 @@
 // additionally writes everything it printed -- artifact, claim, the
 // env-knob parameters, every table, every verdict -- as a JSON document to
 // <path> at exit, so sweep results can be collected and diffed across
-// commits.  (The google-benchmark micro harnesses honour the same variable
-// via --benchmark_out.)
+// commits.  The record also carries peak RSS and wall-clock seconds (so
+// BENCH_*.json captures a perf/memory trajectory per commit, not just
+// verdicts) plus any graph summaries registered via record_graph().  (The
+// google-benchmark micro harnesses honour the same variable via
+// --benchmark_out.)
 #pragma once
 
 #include <cstdint>
@@ -31,6 +34,15 @@ namespace agbench {
 double scale();        // AG_BENCH_SCALE, default 1.0
 std::size_t seeds();   // AG_BENCH_SEEDS, default 8
 std::size_t threads();  // AG_THREADS, default 1 (serial); 0 = hardware
+
+// High-water-mark resident set size of this process in bytes (Linux
+// getrusage ru_maxrss; 0 where unsupported).  Monotone within a process, so
+// per-row snapshots in a scaling sweep bound each configuration from above.
+std::size_t peak_rss_bytes();
+
+// Records the graph/topology a sweep ran on into the AG_BENCH_JSON artifact
+// (a "graphs" array of summary strings).  No-op when JSON capture is off.
+void record_graph(const std::string& summary);
 
 // The experiment runner every harness funnels through: the parallel runner
 // at the AG_THREADS knob (identical output at any thread count).

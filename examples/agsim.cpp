@@ -11,11 +11,25 @@
 //   agsim --graph complete --n 32 --protocol uncoded --k 32
 //   agsim --graph barbell --n 32 --protocol tag-is --k 10 --dot tree.dot
 //   agsim --edge-list my_graph.txt --protocol uniform-ag --k 8
+//   agsim --graph complete --n 100000 --protocol uniform-ag --k 32
+//         --rank-only --implicit --runs 1    (large-n scaling path)
 //
 // Protocols: uniform-ag | tag-brr | tag-unif | tag-is | uncoded | brr | is
 // (brr / is run the spanning-tree protocols standalone).
+//
+// Decoder switches (uniform-ag only):
+//   --gf2        bit-packed GF(2) full decoder instead of GF(256)
+//   --rank-only  coefficient-only rank tracker over GF(2) in a pooled
+//                structure-of-arrays store: no payload arena, the memory
+//                footprint that makes n >= 100k runs possible.  Stopping
+//                rounds are EXACTLY those of --gf2 on the same seed.
+//   --implicit   serve complete/barbell topologies implicitly (O(1) memory,
+//                no edge materialisation); required for clique families at
+//                n where the Theta(n^2) edge set cannot be stored.
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,13 +37,16 @@
 #include "core/dissemination.hpp"
 #include "core/stp_policies.hpp"
 #include "core/stp_protocol.hpp"
+#include "core/swarm_storage.hpp"
 #include "core/tag.hpp"
 #include "core/uncoded_gossip.hpp"
 #include "core/uniform_ag.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "linalg/rank_tracker.hpp"
 #include "sim/engine.hpp"
+#include "sim/topology.hpp"
 #include "stats/summary.hpp"
 
 namespace {
@@ -56,6 +73,9 @@ struct Options {
   std::uint64_t seed = 1;
   std::uint64_t max_rounds = 10000000;
   std::string dot_path;  // write the built spanning tree (TAG/STP runs)
+  bool gf2 = false;        // uniform-ag over the bit-packed GF(2) decoder
+  bool rank_only = false;  // uniform-ag over the pooled rank-only tracker
+  bool implicit_topo = false;  // complete/barbell served without edge storage
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -66,9 +86,13 @@ struct Options {
                "             [--dir push|pull|exchange] [--placement uniform|all-to-all|source]\n"
                "             [--source NODE] [--payload SYMBOLS] [--drop P]\n"
                "             [--runs R] [--seed S] [--max-rounds M] [--dot FILE]\n"
+               "             [--gf2] [--rank-only] [--implicit]\n"
                "families : path cycle complete grid torus bintree star hypercube\n"
                "           barbell clique-chain lollipop er random-regular ring-chords\n"
-               "protocols: uniform-ag tag-brr tag-unif tag-is uncoded brr is\n");
+               "protocols: uniform-ag tag-brr tag-unif tag-is uncoded brr is\n"
+               "scaling  : --gf2 (bit-packed decoder), --rank-only (no payload arena,\n"
+               "           pooled storage; rounds == --gf2 exactly), --implicit\n"
+               "           (complete/barbell without edge storage; uniform-ag only)\n");
   std::exit(2);
 }
 
@@ -115,6 +139,32 @@ struct RunRecord {
   bool decoded = true;
 };
 
+// The topology a uniform-ag run queries: implicit O(1) views for the clique
+// families under --implicit, a StaticTopology over the built graph otherwise
+// (g outlives the protocol; it lives in main).
+std::unique_ptr<sim::TopologyView> make_view(const Options& o, const graph::Graph* g) {
+  if (o.implicit_topo) {
+    if (o.graph == "complete") return std::make_unique<sim::CompleteTopology>(o.n);
+    if (o.graph == "barbell") return std::make_unique<sim::BarbellTopology>(o.n);
+    usage("--implicit supports --graph complete|barbell");
+  }
+  return std::make_unique<sim::StaticTopology>(*g);
+}
+
+// One uniform-ag run over decoder D with storage policy Store.
+template <typename D, typename Store = core::VectorNodeStore<D>>
+RunRecord run_uniform_ag(const Options& o, std::unique_ptr<sim::TopologyView> topo,
+                         std::size_t n, sim::Rng& rng, const core::AgConfig& cfg) {
+  const auto placement = build_placement(o, n, rng);
+  core::UniformAG<D, Store> proto(std::move(topo), placement, cfg);
+  const auto res = sim::run(proto, rng, o.max_rounds);
+  RunRecord rec;
+  rec.rounds = static_cast<double>(res.rounds);
+  rec.wire_mbits = proto.wire_bits() / 1e6;
+  rec.decoded = res.completed;
+  return rec;
+}
+
 Options parse(int argc, char** argv) {
   Options o;
   auto need = [&](int& i) -> const char* {
@@ -143,6 +193,9 @@ Options parse(int argc, char** argv) {
     else if (a == "--seed") o.seed = std::stoull(need(i));
     else if (a == "--max-rounds") o.max_rounds = std::stoull(need(i));
     else if (a == "--dot") o.dot_path = need(i);
+    else if (a == "--gf2") o.gf2 = true;
+    else if (a == "--rank-only") o.rank_only = true;
+    else if (a == "--implicit") o.implicit_topo = true;
     else if (a == "--help" || a == "-h") usage(nullptr);
     else usage(("unknown option: " + a).c_str());
   }
@@ -153,9 +206,22 @@ Options parse(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
-  const graph::Graph g = build_graph(o);
-  const std::size_t n = g.node_count();
-  if (!graph::is_connected(g)) usage("graph is not connected");
+  if ((o.gf2 || o.rank_only || o.implicit_topo) && o.protocol != "uniform-ag") {
+    usage("--gf2/--rank-only/--implicit apply to --protocol uniform-ag only");
+  }
+  if (o.gf2 && o.rank_only) usage("--gf2 and --rank-only are exclusive");
+  if (o.rank_only && o.payload > 0) {
+    usage("--rank-only stores no payload (drop --payload); rank evolution is "
+          "payload-independent, so stopping rounds are unaffected");
+  }
+
+  // Under --implicit the clique families are served analytically: no edge
+  // materialisation (a complete graph at n = 100k would need ~40 GB of
+  // adjacency), connectivity holds by construction, and D is known.
+  std::optional<graph::Graph> g;
+  if (!o.implicit_topo) g = build_graph(o);
+  const std::size_t n = g ? g->node_count() : o.n;
+  if (g && !graph::is_connected(*g)) usage("graph is not connected");
   if (o.k > n && o.placement == "uniform") usage("k > n requires --placement source");
 
   const sim::TimeModel tm =
@@ -164,9 +230,17 @@ int main(int argc, char** argv) {
                              : o.dir == "pull" ? sim::Direction::Pull
                                                : sim::Direction::Exchange;
 
-  std::printf("# graph=%s %s D=%u | protocol=%s k=%zu time=%s dir=%s drop=%.2f\n",
-              o.graph.c_str(), g.summary().c_str(), graph::diameter(g),
-              o.protocol.c_str(), o.k, o.time.c_str(), o.dir.c_str(), o.drop);
+  if (g) {
+    std::printf("# graph=%s %s D=%u | protocol=%s k=%zu time=%s dir=%s drop=%.2f\n",
+                o.graph.c_str(), g->summary().c_str(), graph::diameter(*g),
+                o.protocol.c_str(), o.k, o.time.c_str(), o.dir.c_str(), o.drop);
+  } else {
+    std::printf("# graph=%s(implicit) n=%zu D=%d | protocol=%s%s k=%zu time=%s "
+                "dir=%s drop=%.2f\n",
+                o.graph.c_str(), n, o.graph == "complete" ? 1 : 3,
+                o.protocol.c_str(), o.rank_only ? "(rank-only)" : "", o.k,
+                o.time.c_str(), o.dir.c_str(), o.drop);
+  }
   std::printf("run,rounds,tree_round,wire_Mbits,decoded\n");
 
   std::vector<double> all_rounds;
@@ -183,18 +257,21 @@ int main(int argc, char** argv) {
     cfg.drop_seed = o.seed * 1000 + r;
 
     if (o.protocol == "uniform-ag") {
-      const auto placement = build_placement(o, n, rng);
-      core::UniformAG<core::Gf256Decoder> proto(g, placement, cfg);
-      const auto res = sim::run(proto, rng, o.max_rounds);
-      rec.rounds = static_cast<double>(res.rounds);
-      rec.wire_mbits = proto.wire_bits() / 1e6;
-      rec.decoded = res.completed;
+      auto topo = make_view(o, g ? &*g : nullptr);
+      if (o.rank_only) {
+        rec = run_uniform_ag<linalg::BitRankTracker, core::BitRankStore>(
+            o, std::move(topo), n, rng, cfg);
+      } else if (o.gf2) {
+        rec = run_uniform_ag<core::Gf2Decoder>(o, std::move(topo), n, rng, cfg);
+      } else {
+        rec = run_uniform_ag<core::Gf256Decoder>(o, std::move(topo), n, rng, cfg);
+      }
     } else if (o.protocol == "tag-brr" || o.protocol == "tag-unif") {
       const auto placement = build_placement(o, n, rng);
       core::BroadcastStpConfig stp;
       stp.comm = o.protocol == "tag-brr" ? core::CommModel::RoundRobin
                                          : core::CommModel::Uniform;
-      core::Tag<core::Gf256Decoder, core::BroadcastStpPolicy> proto(g, placement, cfg,
+      core::Tag<core::Gf256Decoder, core::BroadcastStpPolicy> proto(*g, placement, cfg,
                                                                     stp, rng);
       const auto res = sim::run(proto, rng, o.max_rounds);
       rec.rounds = static_cast<double>(res.rounds);
@@ -203,12 +280,12 @@ int main(int argc, char** argv) {
       rec.decoded = res.completed;
       if (!o.dot_path.empty() && r == 0) {
         std::ofstream out(o.dot_path);
-        out << graph::to_dot(g, proto.policy().tree());
+        out << graph::to_dot(*g, proto.policy().tree());
       }
     } else if (o.protocol == "tag-is") {
       const auto placement = build_placement(o, n, rng);
       core::IsStpConfig stp;
-      core::Tag<core::Gf256Decoder, core::IsStpPolicy> proto(g, placement, cfg, stp,
+      core::Tag<core::Gf256Decoder, core::IsStpPolicy> proto(*g, placement, cfg, stp,
                                                              rng);
       const auto res = sim::run(proto, rng, o.max_rounds);
       rec.rounds = static_cast<double>(res.rounds);
@@ -217,7 +294,7 @@ int main(int argc, char** argv) {
       rec.decoded = res.completed;
       if (!o.dot_path.empty() && r == 0) {
         std::ofstream out(o.dot_path);
-        out << graph::to_dot(g, proto.policy().tree());
+        out << graph::to_dot(*g, proto.policy().tree());
       }
     } else if (o.protocol == "uncoded") {
       const auto placement = build_placement(o, n, rng);
@@ -225,7 +302,7 @@ int main(int argc, char** argv) {
       ucfg.time_model = tm;
       ucfg.direction = dir;
       ucfg.drop_probability = o.drop;
-      core::UncodedGossip proto(g, placement, ucfg);
+      core::UncodedGossip proto(*g, placement, ucfg);
       const auto res = sim::run(proto, rng, o.max_rounds);
       rec.rounds = static_cast<double>(res.rounds);
       rec.decoded = res.completed;
@@ -233,7 +310,7 @@ int main(int argc, char** argv) {
       core::BroadcastStpConfig stp;
       stp.comm = core::CommModel::RoundRobin;
       stp.origin = o.source;
-      core::StpProtocol<core::BroadcastStpPolicy> proto(tm, g, stp, rng);
+      core::StpProtocol<core::BroadcastStpPolicy> proto(tm, *g, stp, rng);
       const auto res = sim::run(proto, rng, o.max_rounds);
       rec.rounds = static_cast<double>(res.rounds);
       rec.tree_round = static_cast<double>(proto.tree_complete_round());
@@ -241,12 +318,12 @@ int main(int argc, char** argv) {
       rec.decoded = res.completed;
       if (!o.dot_path.empty() && r == 0) {
         std::ofstream out(o.dot_path);
-        out << graph::to_dot(g, proto.policy().tree());
+        out << graph::to_dot(*g, proto.policy().tree());
       }
     } else if (o.protocol == "is") {
       core::IsStpConfig stp;
       stp.root = o.source;
-      core::StpProtocol<core::IsStpPolicy> proto(tm, g, stp, rng);
+      core::StpProtocol<core::IsStpPolicy> proto(tm, *g, stp, rng);
       const auto res = sim::run(proto, rng, o.max_rounds);
       rec.rounds = static_cast<double>(res.rounds);
       rec.tree_round = static_cast<double>(proto.tree_complete_round());

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Link-check the repository's Markdown files.
+
+Verifies that every relative link target in every tracked *.md file exists on
+disk (anchors are stripped; external http(s)/mailto links are skipped).  Used
+by the `docs_markdown_links` ctest and the CI docs job, so a doc that names a
+moved or deleted file fails the build instead of rotting silently.
+
+Usage: check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+# [text](target) -- excludes images' leading '!' handling (images are links
+# too; check them the same way) and inline code spans are rare enough that a
+# false positive would surface immediately in review.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_DIRS = {".git", "build", "build-lto", "build-debug", "build-asan",
+             "build-tsan", "build-coverage", ".claude", "node_modules"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith("build")]
+        for f in filenames:
+            if f.endswith(".md"):
+                yield os.path.join(dirpath, f)
+
+
+def check(root):
+    errors = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+            checked += 1
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                errors.append(f"{rel}: broken link -> {match.group(1)}")
+    return checked, errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    checked, errors = check(root)
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_markdown_links: {checked} relative links checked, "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

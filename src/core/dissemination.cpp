@@ -12,6 +12,21 @@ std::vector<std::vector<std::size_t>> Placement::by_node(std::size_t n) const {
   return out;
 }
 
+OwnedIndex Placement::owned_index(std::size_t n) const {
+  OwnedIndex idx;
+  idx.offsets.assign(n + 1, 0);
+  for (const graph::NodeId v : owner) ++idx.offsets[v + 1];
+  for (std::size_t v = 0; v < n; ++v) idx.offsets[v + 1] += idx.offsets[v];
+  idx.items.resize(owner.size());
+  // Counting sort over ascending message index i keeps each node's span
+  // ascending, matching by_node's per-node ordering.
+  std::vector<std::uint32_t> cursor(idx.offsets.begin(), idx.offsets.end() - 1);
+  for (std::size_t i = 0; i < owner.size(); ++i) {
+    idx.items[cursor[owner[i]]++] = static_cast<std::uint32_t>(i);
+  }
+  return idx;
+}
+
 Placement all_to_all(std::size_t n) {
   Placement p;
   p.owner.resize(n);

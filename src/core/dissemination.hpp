@@ -7,12 +7,26 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/rng.hpp"
 
 namespace ag::core {
+
+// Flat (CSR-style) node -> owned-messages index: `of(v)` spans the message
+// indices node v initially holds, ascending.  Two arrays instead of n
+// vectors, so swarms at n = 100k pay two allocations for the inverse map
+// instead of one per node.
+struct OwnedIndex {
+  std::vector<std::uint32_t> offsets;  // n + 1 entries
+  std::vector<std::uint32_t> items;    // k message indices grouped by node
+
+  std::span<const std::uint32_t> of(graph::NodeId v) const noexcept {
+    return {items.data() + offsets[v], items.data() + offsets[v + 1]};
+  }
+};
 
 struct Placement {
   std::vector<graph::NodeId> owner;  // owner[i] holds initial message i
@@ -21,6 +35,10 @@ struct Placement {
 
   // Messages held by each node (inverse map).
   std::vector<std::vector<std::size_t>> by_node(std::size_t n) const;
+
+  // Same map in flat CSR layout (what RlncSwarm stores); per-node spans list
+  // message indices in ascending order, exactly like by_node.
+  OwnedIndex owned_index(std::size_t n) const;
 };
 
 // All-to-all communication: k = n, message i originates at node i.

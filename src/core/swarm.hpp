@@ -1,9 +1,17 @@
-// RlncSwarm: the per-node RLNC state shared by every algebraic-gossip
-// protocol variant (uniform AG, TAG Phase 2, fixed-tree AG).
-//
-// Each node owns an incremental decoder; the swarm tracks how many nodes
-// have reached full rank (so protocols can answer finished() in O(1)), when
-// each node finished, and aggregate helpfulness statistics.
+/// \file
+/// RlncSwarm: the per-node RLNC state shared by every algebraic-gossip
+/// protocol variant (uniform AG, TAG Phase 2, fixed-tree AG).
+///
+/// Each node owns an incremental decoder; the swarm tracks how many nodes
+/// have reached full rank (so protocols can answer finished() in O(1)), when
+/// each node finished, and aggregate helpfulness statistics.
+///
+/// The swarm is parameterised over a storage policy (core/swarm_storage.hpp)
+/// so the same protocol code runs with per-node decoder objects (the
+/// default, VectorNodeStore<D>) or with the structure-of-arrays rank-only
+/// pools that make n >= 100k sweeps fit in memory (DenseRankStore<F>,
+/// BitRankStore).  Everything the swarm itself tracks -- finish rounds,
+/// owned-message index, counters -- is already flat-array (SoA) state.
 #pragma once
 
 #include <cstdint>
@@ -12,62 +20,74 @@
 #include <vector>
 
 #include "core/dissemination.hpp"
+#include "core/swarm_storage.hpp"
 #include "sim/rng.hpp"
 
 namespace ag::core {
 
-template <typename D>
+/// \tparam D     decoder type: DenseDecoder<F>, BitDecoder, or the rank-only
+///               trackers (linalg/rank_tracker.hpp)
+/// \tparam Store storage policy providing at(v)/reset(v); defaults to one
+///               self-contained decoder object per node
+template <typename D, typename Store = VectorNodeStore<D>>
 class RlncSwarm {
  public:
   using decoder_type = D;
+  using store_type = Store;
   using packet_type = typename D::packet_type;
   using payload_elem =
       typename decltype(std::declval<packet_type>().payload)::value_type;
 
-  // Builds n decoders for k = placement.message_count() messages with
-  // payload_len payload symbols each, and seeds the owners' decoders with
-  // their initial unit equations.
+  /// Builds n decoders for k = placement.message_count() messages with
+  /// payload_len payload symbols each, and seeds the owners' decoders with
+  /// their initial unit equations.
   RlncSwarm(std::size_t n, const Placement& placement, std::size_t payload_len)
       : k_(placement.message_count()),
         payload_len_(payload_len),
-        owned_(placement.by_node(n)),
+        owned_(placement.owned_index(n)),
+        store_(n, k_, payload_len),
         finish_round_(n, kNotFinished) {
-    nodes_.reserve(n);
-    for (std::size_t v = 0; v < n; ++v) nodes_.emplace_back(k_, payload_len);
     for (std::size_t i = 0; i < k_; ++i) {
-      auto& d = nodes_[placement.owner[i]];
+      decltype(auto) d = store_.at(placement.owner[i]);
       d.insert(d.unit_packet(i, expected_payload(i, payload_len)));
     }
     for (std::size_t v = 0; v < n; ++v) {
-      if (nodes_[v].full_rank()) mark_finished(static_cast<graph::NodeId>(v), 0);
+      if (store_.at(static_cast<graph::NodeId>(v)).full_rank()) {
+        mark_finished(static_cast<graph::NodeId>(v), 0);
+      }
     }
   }
 
-  // Churn semantics: a node that left the network and rejoined lost every
-  // coded equation it had received, but still owns its initial messages, so
-  // its decoder restarts seeded with exactly its placement-time unit
-  // equations.  Completion tracking is rewound accordingly (the protocol is
-  // no longer finished if a complete node resets below full rank).
+  /// Churn semantics: a node that left the network and rejoined lost every
+  /// coded equation it had received, but still owns its initial messages, so
+  /// its decoder restarts seeded with exactly its placement-time unit
+  /// equations.  Completion tracking is rewound accordingly (the protocol is
+  /// no longer finished if a complete node resets below full rank).
   void reset_node(graph::NodeId v, std::uint64_t now_round) {
     if (finish_round_[v] != kNotFinished) {
       finish_round_[v] = kNotFinished;
       --complete_;
     }
-    auto& d = nodes_[v];
-    d = D(k_, payload_len_);
-    for (const std::size_t i : owned_[v]) {
+    store_.reset(v);
+    decltype(auto) d = store_.at(v);
+    for (const std::uint32_t i : owned_.of(v)) {
       d.insert(d.unit_packet(i, expected_payload(i, payload_len_)));
     }
     if (d.full_rank()) mark_finished(v, now_round);
   }
 
-  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t node_count() const noexcept { return finish_round_.size(); }
   std::size_t message_count() const noexcept { return k_; }
 
-  const D& node(graph::NodeId v) const { return nodes_[v]; }
+  /// Decoder access: a `const D&` under VectorNodeStore, a value-semantics
+  /// view under the pooled rank stores.
+  decltype(auto) node(graph::NodeId v) const { return store_.at(v); }
+
+  /// Decoder-state footprint in bytes (for the scaling benches).
+  std::size_t decoder_memory_bytes() const noexcept { return store_.memory_bytes(); }
 
   std::size_t complete_count() const noexcept { return complete_; }
-  bool all_complete() const noexcept { return complete_ == nodes_.size(); }
+  bool all_complete() const noexcept { return complete_ == finish_round_.size(); }
 
   static constexpr std::uint64_t kNotFinished = ~std::uint64_t{0};
   std::uint64_t finish_round(graph::NodeId v) const { return finish_round_[v]; }
@@ -75,43 +95,44 @@ class RlncSwarm {
   std::uint64_t helpful_receives() const noexcept { return helpful_; }
   std::uint64_t useless_receives() const noexcept { return useless_; }
 
-  // RLNC transmit rule for node v; nullopt when v stores nothing.
+  /// RLNC transmit rule for node v; nullopt when v stores nothing.
   template <typename URBG>
   std::optional<packet_type> combine(graph::NodeId v, URBG& rng) const {
-    return nodes_[v].random_combination(rng);
+    return store_.at(v).random_combination(rng);
   }
 
-  // Transmit rule with the coding ablations of AgConfig: no-recode forwards
-  // a stored equation; density < 1 uses sparse combinations.
+  /// Transmit rule with the coding ablations of AgConfig: no-recode forwards
+  /// a stored equation; density < 1 uses sparse combinations.
   template <typename URBG>
   std::optional<packet_type> combine(graph::NodeId v, URBG& rng, bool recode,
                                      double density) const {
-    if (!recode) return nodes_[v].random_stored_row(rng);
-    if (density >= 1.0) return nodes_[v].random_combination(rng);
-    return nodes_[v].random_combination(rng, density);
+    if (!recode) return store_.at(v).random_stored_row(rng);
+    if (density >= 1.0) return store_.at(v).random_combination(rng);
+    return store_.at(v).random_combination(rng, density);
   }
 
-  // Allocation-free transmit rules: write into a caller-owned packet whose
-  // buffers are reused across calls.  Returns false when v stores nothing.
-  // These are what the protocol hot loops use; the optional-returning
-  // variants above remain for one-off callers.
+  /// Allocation-free transmit rules: write into a caller-owned packet whose
+  /// buffers are reused across calls.  Returns false when v stores nothing.
+  /// These are what the protocol hot loops use; the optional-returning
+  /// variants above remain for one-off callers.
   template <typename URBG>
   bool combine_into(graph::NodeId v, URBG& rng, packet_type& out) const {
-    return nodes_[v].random_combination_into(rng, out);
+    return store_.at(v).random_combination_into(rng, out);
   }
 
   template <typename URBG>
   bool combine_into(graph::NodeId v, URBG& rng, bool recode, double density,
                     packet_type& out) const {
-    if (!recode) return nodes_[v].random_stored_row_into(rng, out);
-    if (density >= 1.0) return nodes_[v].random_combination_into(rng, out);
-    return nodes_[v].random_combination_into(rng, density, out);
+    if (!recode) return store_.at(v).random_stored_row_into(rng, out);
+    if (density >= 1.0) return store_.at(v).random_combination_into(rng, out);
+    return store_.at(v).random_combination_into(rng, density, out);
   }
 
-  // Receive path: inserts into `to`'s decoder, updating completion tracking.
-  // `now_round` stamps the completion time.  Returns true iff helpful.
+  /// Receive path: inserts into `to`'s decoder, updating completion
+  /// tracking.  `now_round` stamps the completion time.  Returns true iff
+  /// the packet was helpful (increased `to`'s rank).
   bool receive(graph::NodeId to, const packet_type& pkt, std::uint64_t now_round) {
-    auto& d = nodes_[to];
+    decltype(auto) d = store_.at(to);
     if (d.insert(pkt)) {
       ++helpful_;
       if (d.full_rank()) mark_finished(to, now_round);
@@ -121,9 +142,9 @@ class RlncSwarm {
     return false;
   }
 
-  // The deterministic payload message i was created with (for verification).
-  // Symbols are sanitized through the decoder so they are valid field
-  // elements whatever the field order.
+  /// The deterministic payload message i was created with (for
+  /// verification).  Symbols are sanitized through the decoder so they are
+  /// valid field elements whatever the field order.
   static std::vector<payload_elem> expected_payload(std::size_t i, std::size_t len) {
     std::vector<payload_elem> out(len);
     for (std::size_t j = 0; j < len; ++j) {
@@ -132,9 +153,11 @@ class RlncSwarm {
     return out;
   }
 
-  // True iff node v decodes message i to exactly the payload it was sent with.
+  /// True iff node v decodes message i to exactly the payload it was sent
+  /// with.  Under a rank-only store payload_length() is 0 and this
+  /// degenerates to the full-rank check.
   bool decodes_correctly(graph::NodeId v, std::size_t i) const {
-    const auto& d = nodes_[v];
+    decltype(auto) d = store_.at(v);
     if (!d.full_rank()) return false;
     const auto got = d.decoded_message(i);
     const auto want = expected_payload(i, d.payload_length());
@@ -154,8 +177,8 @@ class RlncSwarm {
 
   std::size_t k_;
   std::size_t payload_len_;
-  std::vector<std::vector<std::size_t>> owned_;  // node -> initially owned messages
-  std::vector<D> nodes_;
+  OwnedIndex owned_;  // node -> initially owned messages (flat CSR layout)
+  Store store_;
   std::vector<std::uint64_t> finish_round_;
   std::size_t complete_ = 0;
   std::uint64_t helpful_ = 0;

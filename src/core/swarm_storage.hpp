@@ -1,0 +1,190 @@
+/// \file
+/// Decoder storage policies for RlncSwarm: how n nodes' decoder state is
+/// laid out in memory.
+///
+/// RlncSwarm<D, Store> is parameterised over a Store so the same protocol
+/// code runs at two very different scales:
+///
+///   * VectorNodeStore<D> (the default): one self-contained decoder object
+///     per node, exactly the pre-policy behaviour.  Right for full decoders
+///     (payload arenas, per-node scratch) at the n of the paper's figures.
+///
+///   * DenseRankStore<F> / BitRankStore: structure-of-arrays pools for the
+///     rank-only trackers (linalg/rank_tracker.hpp).  ALL nodes' rows live
+///     in one arena allocation (n * k * stride symbols), pivot maps and rank
+///     counters are flat arrays, and one scratch stripe is shared by the
+///     whole swarm -- a node's decoder state is touched by at most one
+///     insert/combine at a time within a run, so per-node scratch would be
+///     pure waste.  At n = 100k, k = 32 over GF(2) the whole swarm's decoder
+///     state is ~26 MiB in three allocations instead of ~400k separate
+///     heap blocks.
+///
+/// Store interface consumed by RlncSwarm:
+///   Store(n, k, payload_len)      construct n empty decoders
+///   at(v) -> D& or ref-view       decoder access (value-semantics views OK)
+///   reset(v)                      return node v to the empty-decoder state
+///   memory_bytes()                decoder-state footprint (for benches)
+///
+/// Thread-safety matches the rest of the experiment layer: one swarm is
+/// owned by one protocol instance and touched by one run; parallel sweeps
+/// use one protocol (hence one store) per worker.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/rank_tracker.hpp"
+
+namespace ag::core {
+
+/// \brief Default storage: a plain vector of self-contained decoders.
+template <typename D>
+class VectorNodeStore {
+ public:
+  using decoder_type = D;
+
+  VectorNodeStore(std::size_t n, std::size_t k, std::size_t payload_len)
+      : k_(k), payload_len_(payload_len) {
+    nodes_.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) nodes_.emplace_back(k, payload_len);
+  }
+
+  D& at(graph::NodeId v) { return nodes_[v]; }
+  const D& at(graph::NodeId v) const { return nodes_[v]; }
+
+  /// Churn reset: node v restarts with an empty decoder.
+  void reset(graph::NodeId v) { nodes_[v] = D(k_, payload_len_); }
+
+  /// Rough decoder-state footprint; full decoders reserve their arenas at
+  /// full-rank capacity up front, so this is capacity, not current rank.
+  std::size_t memory_bytes() const noexcept {
+    // Approximation: arena + scratch + pivot map per node.  Exact enough for
+    // the bench tables that report footprint ratios.
+    return nodes_.size() * (sizeof(D) + k_ * (k_ + payload_len_ + 1) * 8);
+  }
+
+ private:
+  std::size_t k_;
+  std::size_t payload_len_;
+  std::vector<D> nodes_;
+};
+
+/// \brief Structure-of-arrays pool of DenseRankTracker<F> state.
+///
+/// at(v) returns a linalg::DenseRankTrackerRef<F> by value -- a thin view
+/// into the pool; RlncSwarm accesses decoders via decltype(auto), so value
+/// views and references interoperate.
+template <gf::GaloisField F>
+class DenseRankStore {
+ public:
+  using decoder_type = linalg::DenseRankTracker<F>;
+  using ref_type = linalg::DenseRankTrackerRef<F>;
+  using const_ref_type = linalg::DenseRankTrackerConstRef<F>;
+  using value_type = typename F::value_type;
+
+  /// payload_len is accepted for signature compatibility and ignored
+  /// (rank-only storage has no payload arena).
+  DenseRankStore(std::size_t n, std::size_t k, std::size_t /*payload_len*/ = 0)
+      : n_(n), k_(k),
+        arena_(n * k * k, F::zero),
+        pivot_row_(n * k, linalg::kNoPivot),
+        rank_(n, 0),
+        scratch_(k, F::zero) {}
+
+  ref_type at(graph::NodeId v) { return ref(v); }
+  /// Const access yields a view without insert(), mirroring how a const
+  /// VectorNodeStore yields `const D&`: const swarm access cannot mutate
+  /// decoder state behind the completion tracking.
+  const_ref_type at(graph::NodeId v) const { return const_ref_type(ref(v)); }
+
+  void reset(graph::NodeId v) {
+    const std::size_t base = static_cast<std::size_t>(v) * k_;
+    std::fill(arena_.begin() + static_cast<std::ptrdiff_t>(base * k_),
+              arena_.begin() + static_cast<std::ptrdiff_t>((base + k_) * k_), F::zero);
+    std::fill(pivot_row_.begin() + static_cast<std::ptrdiff_t>(base),
+              pivot_row_.begin() + static_cast<std::ptrdiff_t>(base + k_),
+              linalg::kNoPivot);
+    rank_[v] = 0;
+  }
+
+  std::size_t memory_bytes() const noexcept {
+    return arena_.size() * sizeof(value_type) +
+           pivot_row_.size() * sizeof(std::uint32_t) +
+           rank_.size() * sizeof(std::uint32_t) + scratch_.size() * sizeof(value_type);
+  }
+
+ private:
+  ref_type ref(graph::NodeId v) const noexcept {
+    auto* self = const_cast<DenseRankStore*>(this);
+    return ref_type(self->arena_.data() + static_cast<std::size_t>(v) * k_ * k_,
+                    self->pivot_row_.data() + static_cast<std::size_t>(v) * k_,
+                    self->rank_.data() + v, self->scratch_.data(), k_);
+  }
+
+  std::size_t n_;
+  std::size_t k_;
+  std::vector<value_type> arena_;        // n * k rows of k symbols
+  std::vector<std::uint32_t> pivot_row_; // n * k pivot->row maps
+  std::vector<std::uint32_t> rank_;      // n rank counters
+  mutable std::vector<value_type> scratch_;  // ONE stripe, shared swarm-wide
+};
+
+/// \brief Structure-of-arrays pool of BitRankTracker state (GF(2), packed).
+///
+/// The large-n configuration: at k = 32 a node's whole decoder state is
+/// 32 words of rows + 32 pivots + 1 rank counter inside three flat arrays.
+class BitRankStore {
+ public:
+  using decoder_type = linalg::BitRankTracker;
+  using ref_type = linalg::BitRankTrackerRef;
+  using const_ref_type = linalg::BitRankTrackerConstRef;
+
+  BitRankStore(std::size_t n, std::size_t k, std::size_t /*payload_words*/ = 0)
+      : n_(n), k_(k), words_(linalg::BitDecoder::words_for(k)),
+        arena_(n * k * words_, 0),
+        pivot_row_(n * k, linalg::kNoPivot),
+        rank_(n, 0),
+        scratch_(words_, 0) {}
+
+  ref_type at(graph::NodeId v) { return ref(v); }
+  /// Const access yields a view without insert() (see DenseRankStore::at).
+  const_ref_type at(graph::NodeId v) const { return const_ref_type(ref(v)); }
+
+  void reset(graph::NodeId v) {
+    const std::size_t base = static_cast<std::size_t>(v) * k_;
+    std::fill(arena_.begin() + static_cast<std::ptrdiff_t>(base * words_),
+              arena_.begin() + static_cast<std::ptrdiff_t>((base + k_) * words_), 0);
+    std::fill(pivot_row_.begin() + static_cast<std::ptrdiff_t>(base),
+              pivot_row_.begin() + static_cast<std::ptrdiff_t>(base + k_),
+              linalg::kNoPivot);
+    rank_[v] = 0;
+  }
+
+  std::size_t memory_bytes() const noexcept {
+    return arena_.size() * sizeof(std::uint64_t) +
+           pivot_row_.size() * sizeof(std::uint32_t) +
+           rank_.size() * sizeof(std::uint32_t) +
+           scratch_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  ref_type ref(graph::NodeId v) const noexcept {
+    auto* self = const_cast<BitRankStore*>(this);
+    return ref_type(self->arena_.data() + static_cast<std::size_t>(v) * k_ * words_,
+                    self->pivot_row_.data() + static_cast<std::size_t>(v) * k_,
+                    self->rank_.data() + v, self->scratch_.data(), k_);
+  }
+
+  std::size_t n_;
+  std::size_t k_;
+  std::size_t words_;
+  std::vector<std::uint64_t> arena_;
+  std::vector<std::uint32_t> pivot_row_;
+  std::vector<std::uint32_t> rank_;
+  mutable std::vector<std::uint64_t> scratch_;
+};
+
+}  // namespace ag::core

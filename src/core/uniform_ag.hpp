@@ -28,10 +28,14 @@
 
 namespace ag::core {
 
-template <typename D>
+// Store selects the swarm's decoder storage (core/swarm_storage.hpp): the
+// default keeps one decoder object per node; the pooled rank-only stores
+// (e.g. UniformAG<linalg::BitRankTracker, BitRankStore>) are what the
+// n >= 100k scaling sweeps run on.
+template <typename D, typename Store = VectorNodeStore<D>>
 class UniformAG
-    : public sim::Mailbox<UniformAG<D>, typename D::packet_type> {
-  using Base = sim::Mailbox<UniformAG<D>, typename D::packet_type>;
+    : public sim::Mailbox<UniformAG<D, Store>, typename D::packet_type> {
+  using Base = sim::Mailbox<UniformAG<D, Store>, typename D::packet_type>;
   friend Base;
 
  public:
@@ -84,7 +88,7 @@ class UniformAG
     for (const graph::NodeId v : topo_->rejoined()) swarm_.reset_node(v, round_);
   }
 
-  const RlncSwarm<D>& swarm() const noexcept { return swarm_; }
+  const RlncSwarm<D, Store>& swarm() const noexcept { return swarm_; }
   const sim::TopologyView& topology() const noexcept { return *topo_; }
   std::uint64_t rounds_elapsed() const noexcept { return round_; }
 
@@ -103,7 +107,7 @@ class UniformAG
 
   std::unique_ptr<sim::TopologyView> topo_;
   AgConfig cfg_;
-  RlncSwarm<D> swarm_;
+  RlncSwarm<D, Store> swarm_;
   sim::UniformSelector selector_;
   packet_type buf_v_, buf_u_;  // reusable transmit scratch
   std::uint64_t round_ = 0;

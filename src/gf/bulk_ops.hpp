@@ -1,23 +1,24 @@
-// Bulk span operations over finite fields.
-//
-// These are the hot loops of the library: building a random linear
-// combination is a sequence of axpy calls (dst += c * src), and Gaussian
-// elimination is axpy plus scale.  The GF(256) byte kernels and the GF(2)
-// word-XOR kernel dispatch through the runtime-selected SIMD backend
-// (gf/backend/backend.hpp: scalar reference, SSSE3, AVX2; pick with
-// AG_GF_BACKEND or let CPUID decide), so every decoder and protocol gets the
-// fastest available implementation with no call-site changes.  Other fields
-// (GF(16), GF(2^16)) use the generic per-element loops below.
-//
-// Contract:
-//   * dst and src must be the same length.  Earlier versions silently
-//     operated on min(dst, src), which masked caller bugs (a short
-//     destination truncated the update instead of failing); debug builds
-//     assert.
-//   * dst and src must NOT overlap.  Aliased spans silently corrupt the
-//     elimination (the kernels read src while writing dst, vector widths at
-//     a time); debug builds assert disjointness.  In-place updates are what
-//     scale() is for.
+/// \file
+/// Bulk span operations over finite fields.
+///
+/// These are the hot loops of the library: building a random linear
+/// combination is a sequence of axpy calls (dst += c * src), and Gaussian
+/// elimination is axpy plus scale.  The GF(256) byte kernels and the GF(2)
+/// word-XOR kernel dispatch through the runtime-selected SIMD backend
+/// (gf/backend/backend.hpp: scalar reference, SSSE3, AVX2; pick with
+/// AG_GF_BACKEND or let CPUID decide), so every decoder and protocol gets
+/// the fastest available implementation with no call-site changes.  Other
+/// fields (GF(16), GF(2^16)) use the generic per-element loops below.
+///
+/// Contract:
+///   * dst and src must be the same length.  Earlier versions silently
+///     operated on min(dst, src), which masked caller bugs (a short
+///     destination truncated the update instead of failing); debug builds
+///     assert.
+///   * dst and src must NOT overlap.  Aliased spans silently corrupt the
+///     elimination (the kernels read src while writing dst, vector widths
+///     at a time); debug builds assert disjointness.  In-place updates are
+///     what scale() is for.
 #pragma once
 
 #include <cassert>
@@ -47,8 +48,8 @@ inline bool spans_disjoint(const void* a, const void* b,
 
 }  // namespace detail
 
-// Bytewise dst ^= src (the GF(256) c == 1 / GF(2^m) addition path), routed
-// through the active SIMD backend.
+/// Bytewise dst ^= src (the GF(256) c == 1 / GF(2^m) addition path), routed
+/// through the active SIMD backend.
 inline void xor_bytes(std::span<std::uint8_t> dst,
                       std::span<const std::uint8_t> src) noexcept {
   assert(dst.size() == src.size() && "gf::xor_bytes: span length mismatch");
@@ -58,8 +59,8 @@ inline void xor_bytes(std::span<std::uint8_t> dst,
   backend::active().xor_bytes(dst.data(), src.data(), dst.size());
 }
 
-// GF(256) axpy: dst[i] ^= c * src[i], routed through the active backend
-// (PSHUFB split-nibble kernels under SSSE3/AVX2, log/exp loop under scalar).
+/// GF(256) axpy: dst[i] ^= c * src[i], routed through the active backend
+/// (PSHUFB split-nibble kernels under SSSE3/AVX2, log/exp loop under scalar).
 inline void axpy_gf256(std::span<std::uint8_t> dst,
                        std::span<const std::uint8_t> src,
                        std::uint8_t c) noexcept {
@@ -75,8 +76,8 @@ inline void axpy_gf256(std::span<std::uint8_t> dst,
   k.axpy_u8(dst.data(), src.data(), dst.size(), c);
 }
 
-// dst[i] = F::add(dst[i], F::mul(c, src[i])) for all i.  GF(256) rows are
-// routed through the backend byte kernels above.
+/// dst[i] = F::add(dst[i], F::mul(c, src[i])) for all i.  GF(256) rows are
+/// routed through the backend byte kernels above.
 template <GaloisField F>
 void axpy(std::span<typename F::value_type> dst,
           std::span<const typename F::value_type> src,
@@ -99,8 +100,8 @@ void axpy(std::span<typename F::value_type> dst,
   }
 }
 
-// dst[i] = F::mul(c, dst[i]) for all i (in place; the one sanctioned aliased
-// update).  GF(256) rows go through the backend scale kernel.
+/// dst[i] = F::mul(c, dst[i]) for all i (in place; the one sanctioned aliased
+/// update).  GF(256) rows go through the backend scale kernel.
 template <GaloisField F>
 void scale(std::span<typename F::value_type> dst, typename F::value_type c) noexcept {
   if (c == F::one) return;
@@ -112,8 +113,8 @@ void scale(std::span<typename F::value_type> dst, typename F::value_type c) noex
   }
 }
 
-// Word-parallel XOR for bit-packed GF(2) rows: dst ^= src, routed through
-// the active backend (128/256-bit vector XOR under SSSE3/AVX2).
+/// Word-parallel XOR for bit-packed GF(2) rows: dst ^= src, routed through
+/// the active backend (128/256-bit vector XOR under SSSE3/AVX2).
 inline void xor_words(std::span<std::uint64_t> dst,
                       std::span<const std::uint64_t> src) noexcept {
   assert(dst.size() == src.size() && "gf::xor_words: span length mismatch");

@@ -1,0 +1,56 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ag::graph {
+
+CsrGraph::CsrGraph(const Graph& g) : edge_count_(g.edge_count()) {
+  const std::size_t n = g.node_count();
+  offsets_.resize(n + 1);
+  offsets_[0] = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + g.degree(static_cast<NodeId>(v));
+  }
+  targets_.resize(offsets_[n]);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(static_cast<NodeId>(v));
+    std::copy(nbrs.begin(), nbrs.end(), targets_.begin() +
+              static_cast<std::ptrdiff_t>(offsets_[v]));
+    if (rows_sorted_ && !std::is_sorted(nbrs.begin(), nbrs.end())) {
+      rows_sorted_ = false;
+    }
+  }
+}
+
+bool CsrGraph::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u >= node_count() || v >= node_count()) return false;
+  // Probe the smaller row.
+  if (degree(v) < degree(u)) std::swap(u, v);
+  const auto row = neighbors(u);
+  if (rows_sorted_) return std::binary_search(row.begin(), row.end(), v);
+  return std::find(row.begin(), row.end(), v) != row.end();
+}
+
+std::size_t CsrGraph::max_degree() const noexcept {
+  std::size_t d = 0;
+  for (std::size_t v = 0; v < node_count(); ++v)
+    d = std::max(d, degree(static_cast<NodeId>(v)));
+  return d;
+}
+
+std::size_t CsrGraph::min_degree() const noexcept {
+  const std::size_t n = node_count();
+  if (n == 0) return 0;
+  std::size_t d = degree(0);
+  for (std::size_t v = 1; v < n; ++v) d = std::min(d, degree(static_cast<NodeId>(v)));
+  return d;
+}
+
+std::string CsrGraph::summary() const {
+  std::ostringstream os;
+  os << "n=" << node_count() << " |E|=" << edge_count() << " Delta=" << max_degree();
+  return os.str();
+}
+
+}  // namespace ag::graph

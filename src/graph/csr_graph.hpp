@@ -1,0 +1,68 @@
+// Compressed-sparse-row graph view: the memory-lean counterpart of Graph.
+//
+// Graph stores one std::vector per node, which is the right shape while a
+// generator is still mutating the adjacency but costs a heap block plus
+// vector header per node -- real overhead at n >= 100k.  CsrGraph freezes a
+// built Graph into two flat arrays (offsets, targets), preserving each
+// node's neighbor ORDER exactly, so a protocol that walks a CsrGraph via
+// sim::CsrTopology is stream-identical to the same run over the source
+// Graph.
+//
+// has_edge binary-searches rows when every row is sorted ascending (checked
+// once at build time; true for all deterministic generators) and falls back
+// to a linear scan otherwise, so correctness never depends on the source
+// graph's insertion order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ag::graph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // Freezes `g`; neighbor order per node is preserved verbatim.
+  explicit CsrGraph(const Graph& g);
+
+  std::size_t node_count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t degree(NodeId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  // O(log d) when rows are sorted (all built-in generators), O(d) otherwise.
+  bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  std::size_t max_degree() const noexcept;
+  std::size_t min_degree() const noexcept;
+
+  // Bytes held by the flat arrays (what the scaling benches report).
+  std::size_t memory_bytes() const noexcept {
+    return offsets_.size() * sizeof(std::uint64_t) + targets_.size() * sizeof(NodeId);
+  }
+
+  // Human-readable one-line summary (n, |E|, Delta), matching Graph::summary.
+  std::string summary() const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // n + 1 entries into targets_
+  std::vector<NodeId> targets_;         // 2 * |E| neighbor ids
+  std::size_t edge_count_ = 0;
+  bool rows_sorted_ = true;  // true iff every neighbor row is ascending
+};
+
+}  // namespace ag::graph

@@ -6,21 +6,32 @@
 namespace ag::graph {
 
 bool Graph::add_edge(NodeId u, NodeId v) {
+  assert((u < adj_.size() && v < adj_.size()) &&
+         "Graph::add_edge: node id out of dense range");
   if (u == v) return false;
   if (u >= adj_.size() || v >= adj_.size()) return false;
   if (has_edge(u, v)) return false;
   adj_[u].push_back(v);
   adj_[v].push_back(u);
+  // Sorted-mirror insert: generators emit ascending targets, so the
+  // lower_bound lands at end() and the insert is an amortised O(1) append.
+  auto& su = sorted_[u];
+  su.insert(std::lower_bound(su.begin(), su.end(), v), v);
+  auto& sv = sorted_[v];
+  sv.insert(std::lower_bound(sv.begin(), sv.end(), u), u);
   ++edge_count_;
   return true;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
+  assert((u < adj_.size() && v < adj_.size()) &&
+         "Graph::has_edge: node id out of dense range");
   if (u >= adj_.size() || v >= adj_.size()) return false;
-  // Scan the smaller list.
-  const auto& list = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
-  const NodeId target = adj_[u].size() <= adj_[v].size() ? v : u;
-  return std::find(list.begin(), list.end(), target) != list.end();
+  // Binary-search the smaller sorted list.
+  const bool u_smaller = sorted_[u].size() <= sorted_[v].size();
+  const auto& list = u_smaller ? sorted_[u] : sorted_[v];
+  const NodeId target = u_smaller ? v : u;
+  return std::binary_search(list.begin(), list.end(), target);
 }
 
 std::size_t Graph::max_degree() const noexcept {

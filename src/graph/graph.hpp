@@ -1,9 +1,20 @@
 // Undirected simple graph as adjacency lists.
 //
 // The communication network G_n(V, E) of Section 2: connected, undirected,
-// no self-loops, no parallel edges.  Node ids are dense [0, n).
+// no self-loops, no parallel edges.  Node ids are dense [0, n) (debug builds
+// assert the invariant; release builds keep the historical out-of-range
+// behavior of add_edge/has_edge returning false).
+//
+// Two adjacency representations are kept in lockstep:
+//   * adj_    -- INSERTION order.  neighbors() serves this one; partner
+//     selection indexes it, so its order is part of the pinned RNG-stream
+//     contract (golden traces) and must never be disturbed.
+//   * sorted_ -- ascending mirror.  has_edge() binary-searches it, which is
+//     what keeps generator-heavy construction (every add_edge probes for
+//     duplicates) from going accidentally quadratic at n = 100k.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -17,18 +28,23 @@ using NodeId = std::uint32_t;
 class Graph {
  public:
   Graph() = default;
-  explicit Graph(std::size_t n) : adj_(n) {}
+  explicit Graph(std::size_t n) : adj_(n), sorted_(n) {}
 
   std::size_t node_count() const noexcept { return adj_.size(); }
   std::size_t edge_count() const noexcept { return edge_count_; }
 
   // Adds an undirected edge u-v.  Ignores self-loops and duplicate edges
   // (returns false for both), so generators can be written naively.
+  // O(log d) duplicate probe + amortised O(1) append when edges arrive in
+  // ascending target order (all deterministic generators).
   bool add_edge(NodeId u, NodeId v);
 
+  // O(log min(d_u, d_v)) membership test on the sorted mirror.
   bool has_edge(NodeId u, NodeId v) const;
 
+  // Neighbor list of v in INSERTION order (the pinned-stream order).
   std::span<const NodeId> neighbors(NodeId v) const {
+    assert(v < adj_.size() && "Graph: node id out of dense range");
     return adj_[v];
   }
 
@@ -45,7 +61,8 @@ class Graph {
   std::string summary() const;
 
  private:
-  std::vector<std::vector<NodeId>> adj_;
+  std::vector<std::vector<NodeId>> adj_;     // insertion order (stream-pinned)
+  std::vector<std::vector<NodeId>> sorted_;  // ascending mirror for has_edge
   std::size_t edge_count_ = 0;
 };
 

@@ -1,21 +1,22 @@
-// Bit-packed incremental decoder over GF(2).
-//
-// Same contract as DenseDecoder<GF2> but with coefficient rows packed 64 bits
-// per word, so a rank update costs O(k * rank / 64) word operations.  The
-// large stopping-time sweeps (e.g. the barbell's Theta(n^2) rounds, Table 1 /
-// E5) use this decoder: the paper's bounds hold for every q >= 2, and q = 2
-// only changes the helpfulness constant from 1 - 1/q to 1/2, not the order.
-//
-// Storage mirrors DenseDecoder: rows live in one flat arena, each row a
-// contiguous [coeff words | payload words] stripe, the arena is reserved at
-// full-rank capacity, and insert/contains/the *_into builders reuse
-// per-decoder scratch -- zero steady-state allocations.  Stored rows are
-// zero before their pivot word (first set bit = pivot), so eliminations XOR
-// only the [pivot_word, stride) tail, coefficient words and payload fused
-// in one xor_words call.  The arena is 32-byte aligned with the row stride
-// padded to a 4-word (32-byte) multiple -- pad words stay zero and are never
-// read -- so every stripe starts on a 32-byte boundary for the SIMD backend's
-// vector XOR (gf/backend/); stride() keeps reporting the logical words.
+/// \file
+/// Bit-packed incremental decoder over GF(2).
+///
+/// Same contract as DenseDecoder<GF2> but with coefficient rows packed 64 bits
+/// per word, so a rank update costs O(k * rank / 64) word operations.  The
+/// large stopping-time sweeps (e.g. the barbell's Theta(n^2) rounds, Table 1 /
+/// E5) use this decoder: the paper's bounds hold for every q >= 2, and q = 2
+/// only changes the helpfulness constant from 1 - 1/q to 1/2, not the order.
+///
+/// Storage mirrors DenseDecoder: rows live in one flat arena, each row a
+/// contiguous [coeff words | payload words] stripe, the arena is reserved at
+/// full-rank capacity, and insert/contains/the *_into builders reuse
+/// per-decoder scratch -- zero steady-state allocations.  Stored rows are
+/// zero before their pivot word (first set bit = pivot), so eliminations XOR
+/// only the [pivot_word, stride) tail, coefficient words and payload fused
+/// in one xor_words call.  The arena is 32-byte aligned with the row stride
+/// padded to a 4-word (32-byte) multiple -- pad words stay zero and are never
+/// read -- so every stripe starts on a 32-byte boundary for the SIMD backend's
+/// vector XOR (gf/backend/); stride() keeps reporting the logical words.
 #pragma once
 
 #include <algorithm>
@@ -33,7 +34,7 @@
 
 namespace ag::linalg {
 
-// A GF(2) coded packet; coefficients and payload both bit/word packed.
+/// A GF(2) coded packet; coefficients and payload both bit/word packed.
 struct BitPacket {
   std::vector<std::uint64_t> coeffs;   // ceil(k/64) words
   std::vector<std::uint64_t> payload;  // payload_words words
@@ -45,6 +46,11 @@ struct BitPacket {
   }
 };
 
+/// \brief Bit-packed incremental GF(2) decoder with payload storage.
+///
+/// 64 coefficient bits per word; the workhorse for the paper's big
+/// stopping-time sweeps.  For rank-only large-n work use
+/// linalg::BitRankTracker.
 class BitDecoder {
  public:
   using packet_type = BitPacket;
@@ -69,13 +75,13 @@ class BitDecoder {
   std::size_t rank() const noexcept { return rank_; }
   bool full_rank() const noexcept { return rank_ == k_; }
 
-  // Words per stored row: coefficient words then payload words, contiguous.
+  /// Words per stored row: coefficient words then payload words, contiguous.
   std::size_t stride() const noexcept { return words_ + payload_words_; }
 
-  // Payload symbols are whole words over GF(2); any 64-bit value is valid.
+  /// Payload symbols are whole words over GF(2); any 64-bit value is valid.
   static std::uint64_t payload_symbol_from(std::uint64_t w) noexcept { return w; }
 
-  // Wire size of one coded packet: k coefficient bits + payload bits.
+  /// Wire size of one coded packet: k coefficient bits + payload bits.
   static double symbol_bits() noexcept { return 64.0; }  // one payload word
   static double packet_bits(std::size_t k, std::size_t payload_words) noexcept {
     return static_cast<double>(k) + static_cast<double>(payload_words) * 64.0;
@@ -149,10 +155,10 @@ class BitDecoder {
     return true;
   }
 
-  // Uniform random combination (each stored row joins with probability 1/2).
-  // Random bits are drawn via util::random_bits so any URBG width is
-  // handled; `out`'s buffers are reused -- recycling callers allocate
-  // nothing.
+  /// Uniform random combination (each stored row joins with probability 1/2).
+  /// Random bits are drawn via util::random_bits so any URBG width is
+  /// handled; `out`'s buffers are reused -- recycling callers allocate
+  /// nothing.
   template <typename URBG>
   bool random_combination_into(URBG& rng, packet_type& out) const {
     if (rank_ == 0) return false;
@@ -185,8 +191,8 @@ class BitDecoder {
     return out;
   }
 
-  // Sparse-coding variant: each stored row joins the XOR independently with
-  // probability `density` (over GF(2) the only nonzero coefficient is 1).
+  /// Sparse-coding variant: each stored row joins the XOR independently with
+  /// probability `density` (over GF(2) the only nonzero coefficient is 1).
   template <typename URBG>
   bool random_combination_into(URBG& rng, double density, packet_type& out) const {
     if (rank_ == 0) return false;
@@ -210,7 +216,7 @@ class BitDecoder {
     return out;
   }
 
-  // Store-and-forward variant (no recoding): a random stored row verbatim.
+  /// Store-and-forward variant (no recoding): a random stored row verbatim.
   template <typename URBG>
   bool random_stored_row_into(URBG& rng, packet_type& out) const {
     if (rank_ == 0) return false;
@@ -235,8 +241,8 @@ class BitDecoder {
     return false;
   }
 
-  // Whether `coeffs` lies in the row space of this decoder.  Uses a reusable
-  // per-decoder scratch buffer; no allocation after the first call.
+  /// Whether `coeffs` lies in the row space of this decoder.  Uses a reusable
+  /// per-decoder scratch buffer; no allocation after the first call.
   bool contains(std::span<const std::uint64_t> coeffs) const {
     assert(coeffs.size() == words_);
     contains_scratch_.assign(coeffs.begin(), coeffs.end());

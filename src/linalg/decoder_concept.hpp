@@ -1,5 +1,8 @@
-// Concept tying DenseDecoder<F> and BitDecoder together so that nodes and
-// protocols can be generic over the coefficient representation.
+/// \file
+/// Concept tying the RLNC decoder family together so that nodes and
+/// protocols can be generic over the coefficient representation: the full
+/// decoders (DenseDecoder<F>, BitDecoder) and the rank-only trackers
+/// (DenseRankTracker<F>, BitRankTracker) all satisfy it.
 #pragma once
 
 #include <concepts>
@@ -7,6 +10,10 @@
 
 namespace ag::linalg {
 
+/// \brief Minimum decoder surface a gossip node relies on: rank queries,
+/// helpfulness-verdict insert, and unit equations for initially owned
+/// messages.  The swarm additionally uses the combination builders, which
+/// are templates (URBG) and therefore not expressible in the concept.
 template <typename D>
 concept RlncDecoder = requires(D d, const D cd, const typename D::packet_type& pkt,
                                std::size_t i) {

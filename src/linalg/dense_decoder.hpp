@@ -1,35 +1,36 @@
-// Incremental Gaussian-elimination decoder over a generic finite field.
-//
-// This is the data structure every algebraic-gossip node maintains (Section 2
-// of the paper): a matrix of linear equations over F_q in the k unknown
-// messages, kept in reduced row-echelon form.  A received packet is appended
-// iff it is linearly independent of the stored rows -- i.e. iff it is a
-// "helpful message" (Definition 3); otherwise it is ignored.  Once the rank
-// reaches k the node solves the system, which in RREF is a read-off.
-//
-// Cost per insert: O(k * rank) field operations.  Rows are normalized
-// (pivot = 1) and back-eliminated on insertion so that full rank implies the
-// identity matrix and decode() is O(1) per message.
-//
-// Storage: rows live in one flat arena, each row a contiguous
-// [coeffs (k) | payload (r)] stripe of `stride()` symbols.  That keeps the
-// elimination inner loops on a single cache stream, lets the coefficient
-// tail and the payload be updated by ONE fused axpy per elimination, and
-// means the decoder performs no steady-state allocations: the arena is
-// reserved at full-rank capacity up front and `insert`, `contains` and the
-// `*_into` combination builders reuse per-decoder scratch buffers.
-//
-// The arena is 32-byte aligned and rows are laid out at a stride padded up
-// to a 32-byte multiple (pad symbols stay zero and are never read), so every
-// row stripe starts on a 32-byte boundary and the SIMD GF backend's vector
-// loops (gf/backend/) never straddle a cache line at AVX2 width.  stride()
-// keeps reporting the LOGICAL symbols per row; the padding is private
-// layout.
-//
-// Elimination exploits the RREF prefix invariant (every stored row is zero
-// strictly before its pivot column, proved in insert() below): eliminating
-// at column p only ever touches columns >= p, so all axpys run on the
-// [p, stride) tail instead of the whole row.
+/// \file
+/// Incremental Gaussian-elimination decoder over a generic finite field.
+///
+/// This is the data structure every algebraic-gossip node maintains (Section 2
+/// of the paper): a matrix of linear equations over F_q in the k unknown
+/// messages, kept in reduced row-echelon form.  A received packet is appended
+/// iff it is linearly independent of the stored rows -- i.e. iff it is a
+/// "helpful message" (Definition 3); otherwise it is ignored.  Once the rank
+/// reaches k the node solves the system, which in RREF is a read-off.
+///
+/// Cost per insert: O(k * rank) field operations.  Rows are normalized
+/// (pivot = 1) and back-eliminated on insertion so that full rank implies the
+/// identity matrix and decode() is O(1) per message.
+///
+/// Storage: rows live in one flat arena, each row a contiguous
+/// [coeffs (k) | payload (r)] stripe of `stride()` symbols.  That keeps the
+/// elimination inner loops on a single cache stream, lets the coefficient
+/// tail and the payload be updated by ONE fused axpy per elimination, and
+/// means the decoder performs no steady-state allocations: the arena is
+/// reserved at full-rank capacity up front and `insert`, `contains` and the
+/// `*_into` combination builders reuse per-decoder scratch buffers.
+///
+/// The arena is 32-byte aligned and rows are laid out at a stride padded up
+/// to a 32-byte multiple (pad symbols stay zero and are never read), so every
+/// row stripe starts on a 32-byte boundary and the SIMD GF backend's vector
+/// loops (gf/backend/) never straddle a cache line at AVX2 width.  stride()
+/// keeps reporting the LOGICAL symbols per row; the padding is private
+/// layout.
+///
+/// Elimination exploits the RREF prefix invariant (every stored row is zero
+/// strictly before its pivot column, proved in insert() below): eliminating
+/// at column p only ever touches columns >= p, so all axpys run on the
+/// [p, stride) tail instead of the whole row.
 #pragma once
 
 #include <algorithm>
@@ -48,9 +49,9 @@
 
 namespace ag::linalg {
 
-// A coded packet: coefficient vector over F (length k) plus payload symbols
-// over the same field (length r).  The pair represents the linear equation
-//   sum_i coeffs[i] * x_i = payload.
+/// A coded packet: coefficient vector over F (length k) plus payload symbols
+/// over the same field (length r).  The pair represents the linear equation
+///   sum_i coeffs[i] * x_i = payload.
 template <gf::GaloisField F>
 struct DensePacket {
   std::vector<typename F::value_type> coeffs;
@@ -63,6 +64,11 @@ struct DensePacket {
   }
 };
 
+/// \brief Incremental RREF decoder with payload storage over field F.
+///
+/// The full-fidelity node state: O(k * (k + payload)) symbols per node,
+/// O(k * rank) field ops per insert, O(1) decode at full rank.  For
+/// stopping-time-only sweeps at large n use linalg::DenseRankTracker.
 template <gf::GaloisField F>
 class DenseDecoder {
  public:
@@ -70,9 +76,9 @@ class DenseDecoder {
   using value_type = typename F::value_type;
   using packet_type = DensePacket<F>;
 
-  // k: number of unknown messages; payload_len: symbols per message payload.
-  // The row arena is reserved at full-rank capacity so inserts never
-  // reallocate.
+  /// k: number of unknown messages; payload_len: symbols per message payload.
+  /// The row arena is reserved at full-rank capacity so inserts never
+  /// reallocate.
   explicit DenseDecoder(std::size_t k, std::size_t payload_len = 0)
       : k_(k),
         payload_len_(payload_len),
@@ -87,23 +93,23 @@ class DenseDecoder {
   std::size_t rank() const noexcept { return rank_; }
   bool full_rank() const noexcept { return rank_ == k_; }
 
-  // Symbols per stored row: coefficients then payload, contiguous.
+  /// Symbols per stored row: coefficients then payload, contiguous.
   std::size_t stride() const noexcept { return k_ + payload_len_; }
 
-  // Maps an arbitrary 64-bit word to a valid payload symbol of this field.
+  /// Maps an arbitrary 64-bit word to a valid payload symbol of this field.
   static value_type payload_symbol_from(std::uint64_t w) noexcept {
     return static_cast<value_type>(w % F::order);
   }
 
-  // Wire size of one coded packet (Section 2: "the length of each message is
-  // r log2 q + k log2 q bits").
+  /// Wire size of one coded packet (Section 2: "the length of each message is
+  /// r log2 q + k log2 q bits").
   static double symbol_bits() noexcept { return std::log2(static_cast<double>(F::order)); }
   static double packet_bits(std::size_t k, std::size_t payload_len) noexcept {
     return static_cast<double>(k + payload_len) * symbol_bits();
   }
 
-  // Builds the unit equation e_i * x = payload for an initial message a node
-  // holds at protocol start.
+  /// Builds the unit equation e_i * x = payload for an initial message a node
+  /// holds at protocol start.
   packet_type unit_packet(std::size_t i, std::span<const value_type> payload = {}) const {
     assert(i < k_);
     assert(payload.size() <= payload_len_);
@@ -115,9 +121,9 @@ class DenseDecoder {
     return p;
   }
 
-  // Inserts a packet; returns true iff it increased the rank (was helpful).
-  // Payloads shorter than payload_length() are zero-padded; longer payloads
-  // are a caller bug (they used to be silently truncated).
+  /// Inserts a packet; returns true iff it increased the rank (was helpful).
+  /// Payloads shorter than payload_length() are zero-padded; longer payloads
+  /// are a caller bug (they used to be silently truncated).
   bool insert(const packet_type& pkt) {
     assert(pkt.coeffs.size() == k_);
     assert(pkt.payload.size() <= payload_len_);
@@ -175,12 +181,12 @@ class DenseDecoder {
     return true;
   }
 
-  // Emits a uniformly random linear combination of the stored equations
-  // (the RLNC transmit rule).  Coefficients are i.i.d. uniform over F_q,
-  // so the all-zero combination is possible, exactly as the paper assumes
-  // when it lower-bounds helpfulness by 1 - 1/q.  Returns false when the
-  // node stores nothing (it has nothing to send).  `out`'s buffers are
-  // reused: a caller that recycles the same packet allocates nothing.
+  /// Emits a uniformly random linear combination of the stored equations
+  /// (the RLNC transmit rule).  Coefficients are i.i.d. uniform over F_q,
+  /// so the all-zero combination is possible, exactly as the paper assumes
+  /// when it lower-bounds helpfulness by 1 - 1/q.  Returns false when the
+  /// node stores nothing (it has nothing to send).  `out`'s buffers are
+  /// reused: a caller that recycles the same packet allocates nothing.
   template <typename URBG>
   bool random_combination_into(URBG& rng, packet_type& out) const {
     if (rank_ == 0) return false;
@@ -205,13 +211,13 @@ class DenseDecoder {
     return out;
   }
 
-  // Sparse-coding variant (systems extension; kodo-style density knob): each
-  // stored row joins the combination independently with probability
-  // `density`, with a uniform *nonzero* coefficient.  density = 1 keeps every
-  // row (with nonzero coefficients, so strictly denser than the paper's
-  // uniform rule); low densities shrink the helpfulness probability, which
-  // bench E15 quantifies.  The all-zero packet is emitted when no row is
-  // selected -- part of the density trade-off.
+  /// Sparse-coding variant (systems extension; kodo-style density knob): each
+  /// stored row joins the combination independently with probability
+  /// `density`, with a uniform *nonzero* coefficient.  density = 1 keeps every
+  /// row (with nonzero coefficients, so strictly denser than the paper's
+  /// uniform rule); low densities shrink the helpfulness probability, which
+  /// bench E15 quantifies.  The all-zero packet is emitted when no row is
+  /// selected -- part of the density trade-off.
   template <typename URBG>
   bool random_combination_into(URBG& rng, double density, packet_type& out) const {
     if (rank_ == 0) return false;
@@ -237,10 +243,10 @@ class DenseDecoder {
     return out;
   }
 
-  // Store-and-forward variant (no recoding): emits a uniformly random
-  // *stored* equation verbatim.  This is what a node that cannot recode
-  // (e.g. forwarding source packets only) would send; bench E15 shows why
-  // recoding matters on multi-hop topologies.
+  /// Store-and-forward variant (no recoding): emits a uniformly random
+  /// *stored* equation verbatim.  This is what a node that cannot recode
+  /// (e.g. forwarding source packets only) would send; bench E15 shows why
+  /// recoding matters on multi-hop topologies.
   template <typename URBG>
   bool random_stored_row_into(URBG& rng, packet_type& out) const {
     if (rank_ == 0) return false;
@@ -257,8 +263,8 @@ class DenseDecoder {
     return out;
   }
 
-  // True iff a combination emitted by `other` can be helpful to us, i.e.
-  // other's row space is not contained in ours (Definition 3: helpful node).
+  /// True iff a combination emitted by `other` can be helpful to us, i.e.
+  /// other's row space is not contained in ours (Definition 3: helpful node).
   bool is_helpful_node(const DenseDecoder& other) const {
     if (full_rank()) return false;
     for (std::size_t i = 0; i < other.rank_; ++i) {
@@ -267,8 +273,8 @@ class DenseDecoder {
     return false;
   }
 
-  // Whether `coeffs` lies in the row space of this decoder.  Uses a reusable
-  // per-decoder scratch buffer; no allocation after the first call.
+  /// Whether `coeffs` lies in the row space of this decoder.  Uses a reusable
+  /// per-decoder scratch buffer; no allocation after the first call.
   bool contains(std::span<const value_type> coeffs) const {
     assert(coeffs.size() == k_);
     contains_scratch_.assign(coeffs.begin(), coeffs.end());
@@ -286,7 +292,7 @@ class DenseDecoder {
     return true;
   }
 
-  // Returns message i's payload; requires full rank.
+  /// Returns message i's payload; requires full rank.
   std::span<const value_type> decoded_message(std::size_t i) const {
     assert(full_rank() && i < k_);
     return {row_ptr(pivot_row_[i]) + k_, payload_len_};

@@ -34,10 +34,11 @@ class UniformSelector {
  public:
   explicit UniformSelector(const TopologyView& t) : t_(&t) {}
 
-  NodeId pick(NodeId v, Rng& rng) {
-    const auto nbrs = t_->neighbors(v);
-    return nbrs[rng.uniform(nbrs.size())];
-  }
+  // Delegates to TopologyView::sample: one uniform(degree) draw either way
+  // (stream-identical to indexing the neighbor list), but implicit views
+  // (CompleteTopology, BarbellTopology) answer in O(1) without
+  // materialising neighbors.
+  NodeId pick(NodeId v, Rng& rng) { return t_->sample(v, rng); }
 
  private:
   const TopologyView* t_;

@@ -1,0 +1,168 @@
+// CsrGraph <-> Graph equivalence and the implicit large-n topology views.
+//
+// CsrGraph must be a faithful frozen copy (same counts, same degrees, same
+// neighbor ORDER -- order is part of the pinned RNG-stream contract) and
+// has_edge must agree everywhere, including graphs whose insertion-order
+// rows are NOT sorted (ring-with-chords), which exercises the linear-scan
+// fallback.  The implicit CompleteTopology / BarbellTopology must agree with
+// explicit StaticTopology over the corresponding generator in node counts,
+// degrees, neighbor lists, and -- crucially -- the sample() draw mapping,
+// which is what makes implicit large-n runs stream-identical to explicit
+// small-n runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace ag;
+using graph::NodeId;
+
+void expect_csr_equivalent(const graph::Graph& g) {
+  const graph::CsrGraph c(g);
+  ASSERT_EQ(c.node_count(), g.node_count());
+  ASSERT_EQ(c.edge_count(), g.edge_count());
+  EXPECT_EQ(c.max_degree(), g.max_degree());
+  EXPECT_EQ(c.min_degree(), g.min_degree());
+  EXPECT_EQ(c.summary(), g.summary());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ASSERT_EQ(c.degree(v), g.degree(v)) << "node " << v;
+    const auto gn = g.neighbors(v);
+    const auto cn = c.neighbors(v);
+    ASSERT_EQ(cn.size(), gn.size());
+    for (std::size_t i = 0; i < gn.size(); ++i) {
+      EXPECT_EQ(cn[i], gn[i]) << "neighbor order diverged at node " << v;
+    }
+  }
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      ASSERT_EQ(c.has_edge(u, v), g.has_edge(u, v)) << u << "-" << v;
+    }
+  }
+  // Out-of-range ids answer false, like Graph.
+  EXPECT_FALSE(c.has_edge(0, static_cast<NodeId>(g.node_count())));
+}
+
+TEST(CsrGraph, EquivalentOnSortedFamilies) {
+  expect_csr_equivalent(graph::make_grid(5, 7));
+  expect_csr_equivalent(graph::make_barbell(17));
+  expect_csr_equivalent(graph::make_complete(12));
+  expect_csr_equivalent(graph::make_binary_tree(20));
+}
+
+TEST(CsrGraph, EquivalentOnUnsortedRows) {
+  // Chords are appended after the cycle in random order: insertion-order
+  // rows are unsorted, forcing the has_edge linear-scan fallback.
+  expect_csr_equivalent(graph::make_ring_with_chords(24, 10, 7));
+  expect_csr_equivalent(graph::make_random_regular(16, 4, 9));
+  expect_csr_equivalent(graph::make_erdos_renyi(18, 0.4, 5));
+}
+
+TEST(CsrGraph, EmptyAndTiny) {
+  graph::CsrGraph empty;
+  EXPECT_EQ(empty.node_count(), 0u);
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  expect_csr_equivalent(g);
+}
+
+// Graph::has_edge after the sorted-mirror change: brute-force cross-check.
+TEST(GraphHasEdge, MatchesEdgeList) {
+  const auto g = graph::make_ring_with_chords(30, 12, 3);
+  std::vector<std::vector<bool>> adj(g.node_count(),
+                                     std::vector<bool>(g.node_count(), false));
+  for (const auto& [u, v] : g.edges()) adj[u][v] = adj[v][u] = true;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      ASSERT_EQ(g.has_edge(u, v), static_cast<bool>(adj[u][v])) << u << "-" << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Implicit topology views vs explicit generators.
+// ---------------------------------------------------------------------------
+
+void expect_view_equivalent(const sim::TopologyView& imp, const graph::Graph& g) {
+  const sim::StaticTopology exp(g);
+  ASSERT_EQ(imp.node_count(), exp.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ASSERT_EQ(imp.degree(v), exp.degree(v)) << "degree at " << v;
+    const auto en = exp.neighbors(v);
+    const auto in = imp.neighbors(v);
+    ASSERT_EQ(in.size(), en.size()) << "node " << v;
+    for (std::size_t i = 0; i < en.size(); ++i) {
+      ASSERT_EQ(in[i], en[i]) << "neighbor order diverged: node " << v << " idx " << i;
+    }
+  }
+  // sample() must map identical draws to identical partners (the implicit
+  // index->neighbor map vs the explicit list indexing).
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    sim::Rng ra(1234 + v), rb(1234 + v);
+    for (int t = 0; t < 64; ++t) {
+      ASSERT_EQ(imp.sample(v, ra), exp.sample(v, rb)) << "node " << v;
+    }
+  }
+}
+
+TEST(ImplicitTopology, CompleteMatchesExplicit) {
+  for (const std::size_t n : {4u, 5u, 16u, 33u}) {
+    expect_view_equivalent(sim::CompleteTopology(n), graph::make_complete(n));
+  }
+}
+
+TEST(ImplicitTopology, BarbellMatchesExplicit) {
+  for (const std::size_t n : {4u, 5u, 8u, 9u, 16u, 17u, 32u}) {
+    expect_view_equivalent(sim::BarbellTopology(n), graph::make_barbell(n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: protocol runs over CSR/implicit views equal explicit-graph runs.
+// ---------------------------------------------------------------------------
+
+std::vector<double> uag_rounds(std::unique_ptr<sim::TopologyView> (*topo)(),
+                               std::size_t n, std::size_t k, std::uint64_t seed) {
+  return core::stopping_rounds(
+      [&](sim::Rng& rng) {
+        const auto pl = core::uniform_distinct(k, n, rng);
+        core::AgConfig cfg;
+        return core::UniformAG<core::Gf2Decoder>(topo(), pl, cfg);
+      },
+      4, seed, 1000000);
+}
+
+TEST(ImplicitTopology, UniformAgRunsMatchExplicitGraph) {
+  static const auto g = graph::make_complete(20);
+  auto explicit_topo = +[]() -> std::unique_ptr<sim::TopologyView> {
+    return std::make_unique<sim::StaticTopology>(g);
+  };
+  auto implicit_topo = +[]() -> std::unique_ptr<sim::TopologyView> {
+    return std::make_unique<sim::CompleteTopology>(20);
+  };
+  EXPECT_EQ(uag_rounds(explicit_topo, 20, 8, 555), uag_rounds(implicit_topo, 20, 8, 555));
+}
+
+TEST(CsrTopology, UniformAgRunsMatchExplicitGraph) {
+  static const auto g = graph::make_grid(5, 6);
+  auto explicit_topo = +[]() -> std::unique_ptr<sim::TopologyView> {
+    return std::make_unique<sim::StaticTopology>(g);
+  };
+  auto csr_topo = +[]() -> std::unique_ptr<sim::TopologyView> {
+    return std::make_unique<sim::CsrTopology>(graph::CsrGraph(g));
+  };
+  EXPECT_EQ(uag_rounds(explicit_topo, 30, 10, 556), uag_rounds(csr_topo, 30, 10, 556));
+}
+
+}  // namespace
