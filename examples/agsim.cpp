@@ -83,7 +83,8 @@ struct Options {
   std::fprintf(stderr,
                "usage: agsim [--graph FAMILY|--edge-list FILE] [family params]\n"
                "             --protocol P [--k K] [--time sync|async]\n"
-               "             [--dir push|pull|exchange] [--placement uniform|all-to-all|source]\n"
+               "             [--dir push|pull|exchange|broadcast]\n"
+               "             [--placement uniform|all-to-all|source]\n"
                "             [--source NODE] [--payload SYMBOLS] [--drop P]\n"
                "             [--runs R] [--seed S] [--max-rounds M] [--dot FILE]\n"
                "             [--gf2] [--rank-only] [--implicit]\n"
@@ -226,9 +227,10 @@ int main(int argc, char** argv) {
 
   const sim::TimeModel tm =
       o.time == "async" ? sim::TimeModel::Asynchronous : sim::TimeModel::Synchronous;
-  const sim::Direction dir = o.dir == "push"   ? sim::Direction::Push
-                             : o.dir == "pull" ? sim::Direction::Pull
-                                               : sim::Direction::Exchange;
+  const sim::Direction dir = o.dir == "push"        ? sim::Direction::Push
+                             : o.dir == "pull"      ? sim::Direction::Pull
+                             : o.dir == "broadcast" ? sim::Direction::Broadcast
+                                                    : sim::Direction::Exchange;
 
   if (g) {
     std::printf("# graph=%s %s D=%u | protocol=%s k=%zu time=%s dir=%s drop=%.2f\n",

@@ -1,12 +1,24 @@
-// P2P file swarm: one seed holds a file split into k = 64 blocks; peers form
-// a sparse random-regular overlay and gossip blocks until everyone can
-// reassemble the file -- the paper's k-dissemination problem with a single
-// source, and the original motivation for algebraic gossip in Deb et al.
+// P2P file swarm: one seed holds a file split into k blocks; peers gossip
+// RLNC combinations until everyone can reassemble the file -- the paper's
+// k-dissemination problem with a single source, and the original motivation
+// for algebraic gossip in Deb et al.
 //
-// RLNC-coded gossip is compared with the classic "random useful block"
-// uncoded swarm.  The example reassembles the file at a spot-checked peer
-// from the decoded payloads and verifies it byte-for-byte.
+// Two drivers share this binary, selected by argv[1] or AG_TRANSPORT:
+//
+//   (default / AG_TRANSPORT=sim)  Deterministic simulation: 96 peers on a
+//     sparse random-regular overlay, RLNC vs the classic "random block"
+//     uncoded swarm, with byte-for-byte reassembly at the farthest peer.
+//
+//   swarm / AG_TRANSPORT=udp      A REAL multi-process swarm on loopback
+//     UDP: the launcher binds one socket per node (port 0, so the kernel
+//     assigns free ports racelessly), forks worker processes that inherit
+//     their nodes' descriptors, and every worker runs net::run_swarm over
+//     a net::UdpTransport -- versioned wire frames, epoll, gossiped
+//     completion bitmap -- until all nodes decode the file.
+//       file_swarm swarm [--n 16] [--k 32] [--payload 32] [--procs 4]
+//                        [--seed 7] [--timeout-ms 60000]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -17,9 +29,19 @@
 #include "core/uniform_ag.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "net/swarm_runner.hpp"
+#include "net/udp_socket.hpp"
+#include "net/udp_transport.hpp"
 #include "sim/engine.hpp"
 
-int main() {
+#if defined(__linux__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+int run_sim_demo() {
   using namespace ag;
 
   const std::size_t peers = 96;
@@ -75,4 +97,144 @@ int main() {
   std::printf("lower bound sanity: k/2 = %zu rounds (Theorem 3 counting argument)\n",
               k / 2);
   return ok ? 0 : 1;
+}
+
+struct SwarmArgs {
+  std::size_t n = 16;
+  std::size_t k = 32;
+  std::size_t payload = 32;
+  std::size_t procs = 4;
+  std::uint64_t seed = 7;
+  int timeout_ms = 60000;
+};
+
+bool parse_swarm_args(int argc, char** argv, SwarmArgs& a) {
+  for (int i = 0; i < argc; i += 2) {
+    const std::string key = argv[i];
+    if (i + 1 >= argc) return false;
+    const char* val = argv[i + 1];
+    if (key == "--n") a.n = std::strtoull(val, nullptr, 10);
+    else if (key == "--k") a.k = std::strtoull(val, nullptr, 10);
+    else if (key == "--payload") a.payload = std::strtoull(val, nullptr, 10);
+    else if (key == "--procs") a.procs = std::strtoull(val, nullptr, 10);
+    else if (key == "--seed") a.seed = std::strtoull(val, nullptr, 10);
+    else if (key == "--timeout-ms") a.timeout_ms = std::atoi(val);
+    else return false;
+  }
+  return a.n >= 2 && a.k >= 1 && a.procs >= 1 && a.procs <= a.n;
+}
+
+#if defined(__linux__)
+
+// One worker's life: adopt its nodes' inherited sockets, run the swarm to
+// cluster-wide completion, exit 0 iff done and every block decoded.
+[[noreturn]] void worker_main(ag::net::UdpSocketSet& parent_set,
+                              const ag::net::EndpointTable& table,
+                              const SwarmArgs& a, std::size_t worker) {
+  using namespace ag;
+  std::vector<net::NodeId> mine;
+  std::vector<int> fds;
+  for (std::size_t v = 0; v < a.n; ++v) {
+    if (v % a.procs == worker) {
+      mine.push_back(static_cast<net::NodeId>(v));
+      fds.push_back(parent_set.fd(v));
+    } else {
+      ::close(parent_set.fd(v));
+    }
+  }
+  parent_set.forget_sockets();
+
+  net::UdpSocketSet socks;
+  if (!socks.adopt(fds)) _exit(2);
+  net::UdpTransport<net::Gf256Packet> transport(socks, table, mine, a.k, a.payload);
+  net::SwarmConfig cfg;
+  cfg.n = a.n;
+  cfg.k = a.k;
+  cfg.payload_len = a.payload;
+  cfg.seed = a.seed;
+  cfg.timeout_ms = a.timeout_ms;
+  const net::SwarmReport rep = net::run_swarm(transport, cfg);
+  std::printf("worker %zu (%zu nodes): %s in %llu ticks, %llu frames rx, "
+              "%llu decode failures\n",
+              worker, mine.size(), rep.ok() ? "complete+verified" : "FAILED",
+              static_cast<unsigned long long>(rep.ticks),
+              static_cast<unsigned long long>(rep.transport.messages_delivered),
+              static_cast<unsigned long long>(rep.transport.decode_failures));
+  std::fflush(stdout);
+  _exit(rep.ok() ? 0 : 1);
+}
+
+int run_udp_swarm(const SwarmArgs& a) {
+  using namespace ag;
+  net::UdpSocketSet all;
+  if (!all.open_loopback(a.n)) {
+    std::fprintf(stderr, "file_swarm: cannot bind %zu loopback sockets\n", a.n);
+    return 1;
+  }
+  net::EndpointTable table(a.n);
+  for (std::size_t v = 0; v < a.n; ++v) {
+    const std::uint16_t port = all.port(v);
+    if (port == 0) {
+      std::fprintf(stderr, "file_swarm: getsockname failed for node %zu\n", v);
+      return 1;
+    }
+    table.set(static_cast<net::NodeId>(v), net::Endpoint{net::kLoopbackAddr, port});
+  }
+  std::printf("udp swarm: n=%zu nodes over %zu processes, k=%zu blocks x %zu bytes, "
+              "GF(256), loopback ports %u..\n",
+              a.n, a.procs, a.k, a.payload, table.of(0).port);
+  std::fflush(stdout);
+
+  std::vector<pid_t> kids;
+  for (std::size_t w = 0; w < a.procs; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "file_swarm: fork failed\n");
+      return 1;
+    }
+    if (pid == 0) worker_main(all, table, a, w);  // never returns
+    kids.push_back(pid);
+  }
+  all.close_all();  // workers own their descriptors now
+
+  bool ok = true;
+  for (const pid_t pid : kids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid ||
+        !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      ok = false;
+    }
+  }
+  std::printf("udp swarm: %s\n", ok ? "all workers complete, payload verified"
+                                    : "FAILED");
+  return ok ? 0 : 1;
+}
+
+#else
+
+int run_udp_swarm(const SwarmArgs&) {
+  std::fprintf(stderr, "file_swarm: udp swarm mode requires Linux\n");
+  return 1;
+}
+
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* env = std::getenv("AG_TRANSPORT");
+  const bool want_udp =
+      (argc > 1 && std::strcmp(argv[1], "swarm") == 0) ||
+      (env != nullptr && std::strcmp(env, "udp") == 0);
+  if (!want_udp) return run_sim_demo();
+
+  SwarmArgs a;
+  const int flag_start = (argc > 1 && std::strcmp(argv[1], "swarm") == 0) ? 2 : 1;
+  if (!parse_swarm_args(argc - flag_start, argv + flag_start, a)) {
+    std::fprintf(stderr,
+                 "usage: file_swarm swarm [--n N] [--k K] [--payload BYTES]\n"
+                 "                        [--procs P] [--seed S] [--timeout-ms MS]\n");
+    return 2;
+  }
+  return run_udp_swarm(a);
 }

@@ -73,6 +73,13 @@ class UncodedGossip
 
   void on_activate(graph::NodeId v, sim::Rng& rng) {
     if (!topo_->alive(v) || topo_->degree(v) == 0) return;
+    // BROADCAST: one uniformly chosen known message to every neighbor.
+    if (cfg_.direction == sim::Direction::Broadcast) {
+      if (known_[v].empty()) return;
+      const std::uint32_t msg = known_[v][rng.uniform(known_[v].size())];
+      for (const graph::NodeId u : topo_->neighbors(v)) this->send(v, u, msg);
+      return;
+    }
     const graph::NodeId u = selector_.pick(v, rng);
     if (cfg_.direction != sim::Direction::Pull && !known_[v].empty()) {
       this->send(v, u, known_[v][rng.uniform(known_[v].size())]);

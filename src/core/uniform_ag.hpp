@@ -65,6 +65,14 @@ class UniformAG
 
   void on_activate(graph::NodeId v, sim::Rng& rng) {
     if (!topo_->alive(v) || topo_->degree(v) == 0) return;
+    // BROADCAST: one combination to every current neighbor, no partner draw
+    // and no pull -- the same coded packet fans out (recombining per
+    // neighbor would cost k draws per edge for no rank benefit).
+    if (cfg_.direction == sim::Direction::Broadcast) {
+      if (!swarm_.combine_into(v, rng, cfg_.recode, cfg_.coding_density, buf_v_)) return;
+      for (const graph::NodeId u : topo_->neighbors(v)) this->send(v, u, buf_v_);
+      return;
+    }
     const graph::NodeId u = selector_.pick(v, rng);
     // Compute both packets before sending either: the paper's EXCHANGE is a
     // simultaneous swap, so u's reply must not already contain v's packet.

@@ -1,0 +1,68 @@
+/// \file
+/// Node addressing for socket transports: a node id <-> UDP endpoint table.
+///
+/// The wire format (net/wire.hpp) deliberately carries no "from" field for
+/// coded packets -- sender identity is a transport concern.  UdpTransport
+/// resolves the sender of each datagram by reverse-looking-up its source
+/// address here, so a frame from an unknown endpoint is rejected before its
+/// body is ever parsed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ag::net {
+
+using graph::NodeId;
+
+/// One UDP endpoint, host byte order.  The socket layer converts to/from
+/// network order at the syscall boundary.
+struct Endpoint {
+  std::uint32_t addr = 0;  ///< IPv4 address (host order); loopback = 0x7f000001
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) noexcept {
+    return a.addr == b.addr && a.port == b.port;
+  }
+};
+
+inline constexpr std::uint32_t kLoopbackAddr = 0x7f000001u;  // 127.0.0.1
+inline constexpr NodeId kUnknownNode = ~NodeId{0};
+
+/// Bidirectional node <-> endpoint map for a swarm of n nodes.  Built once
+/// by the launcher (which knows every bound port) and shared read-only by
+/// the transports; lookups in the receive hot path are one hash probe.
+class EndpointTable {
+ public:
+  EndpointTable() = default;
+  explicit EndpointTable(std::size_t n) : by_node_(n) {}
+
+  std::size_t size() const noexcept { return by_node_.size(); }
+
+  void set(NodeId v, Endpoint e) {
+    if (v >= by_node_.size()) by_node_.resize(v + 1);
+    by_node_[v] = e;
+    reverse_[key(e)] = v;
+  }
+
+  const Endpoint& of(NodeId v) const noexcept { return by_node_[v]; }
+
+  /// Node bound to `e`, or kUnknownNode.
+  NodeId node_of(Endpoint e) const noexcept {
+    const auto it = reverse_.find(key(e));
+    return it == reverse_.end() ? kUnknownNode : it->second;
+  }
+
+ private:
+  static std::uint64_t key(Endpoint e) noexcept {
+    return (static_cast<std::uint64_t>(e.addr) << 16) | e.port;
+  }
+
+  std::vector<Endpoint> by_node_;
+  std::unordered_map<std::uint64_t, NodeId> reverse_;
+};
+
+}  // namespace ag::net

@@ -1,0 +1,56 @@
+/// \file
+/// SwarmRunner: a real-time gossip driver over the Transport seam -- what a
+/// node actually runs when the "rounds" of the simulator are replaced by
+/// wall-clock ticks and real datagrams.
+///
+/// The lockstep sim::run engine cannot drive a multi-process swarm (its
+/// EXCHANGE needs the partner's state in the same address space), so the UDP
+/// deployment uses this self-contained push loop instead: every tick each
+/// locally hosted node transmits one fresh RLNC combination (GF(256)) to a
+/// uniformly random peer, then drains the transport and inserts whatever
+/// arrived.  That is exactly uniform algebraic gossip in the PUSH direction
+/// under the asynchronous time model, running on kernel time instead of
+/// engine rounds.
+///
+/// Termination is gossiped, not assumed: each node keeps an n-bit completion
+/// bitmap (bit v = "node v is known to have reached full rank"), ORs in
+/// every bitmap it hears via control frames, and keeps transmitting until
+/// the bitmap is all-ones -- then sends a short grace burst of bitmap
+/// broadcasts so laggard processes learn completion too, verifies its local
+/// decoded payloads byte-for-byte against the source, and returns.
+#pragma once
+
+#include <cstdint>
+
+#include "gf/gf2m.hpp"
+#include "linalg/dense_decoder.hpp"
+#include "net/udp_transport.hpp"
+
+namespace ag::net {
+
+/// The swarm speaks GF(256): byte symbols, the library's end-to-end default.
+using Gf256Packet = linalg::DensePacket<gf::GF256>;
+
+struct SwarmConfig {
+  std::size_t n = 16;            ///< swarm size (node ids 0..n-1)
+  std::size_t k = 32;            ///< file blocks, all seeded at node 0
+  std::size_t payload_len = 32;  ///< bytes per block
+  std::uint64_t seed = 7;        ///< per-process RNG seed material
+  int timeout_ms = 30000;        ///< wall-clock budget before giving up
+  int grace_ticks = 32;          ///< completion-bitmap broadcasts after done
+};
+
+struct SwarmReport {
+  bool completed = false;   ///< completion bitmap reached all-ones in time
+  bool payload_ok = false;  ///< every local node decodes every block correctly
+  std::uint64_t ticks = 0;
+  sim::TransportStats transport;  ///< final transport counters
+
+  bool ok() const noexcept { return completed && payload_ok; }
+};
+
+/// Runs the swarm for the nodes hosted by `transport` until cluster-wide
+/// completion or timeout.  Blocking; returns the final report.
+SwarmReport run_swarm(UdpTransport<Gf256Packet>& transport, const SwarmConfig& cfg);
+
+}  // namespace ag::net

@@ -1,37 +1,32 @@
-// CRTP mailbox implementing the synchronous-round delivery semantics.
+// CRTP mailbox: binds a protocol's delivery semantics to a pluggable
+// Transport (sim/transport.hpp).
 //
 // In the synchronous model "information received in the current round is
 // available for sending only at the beginning of the next round" (Section 2).
-// We realise that by buffering every send during a round and applying the
-// whole batch at the round barrier: node state observed while building
-// messages is therefore exactly the start-of-round state.  In the
+// The default SimTransport realises that by buffering every send during a
+// round and applying the whole batch at the round barrier; in the
 // asynchronous model messages are applied immediately (one transaction per
-// timeslot, nothing else is concurrent).
+// timeslot, nothing else is concurrent).  Derived classes implement
+// `deliver(NodeId from, NodeId to, const Msg&)`; the Mailbox resolves the
+// CRTP target at every call, so protocol objects stay movable (the transport
+// never stores a callback into them -- see DeliverRef).
 //
-// Allocation behaviour: the inbox is a slot pool.  Buffered envelopes are
-// never destroyed at the barrier -- only a cursor is reset -- so a message
-// type with heap buffers (coded packets) reuses its capacity round after
-// round, and the synchronous path performs zero steady-state allocations.
-// The asynchronous path delivers by const reference without any copy at
-// all, which is what lets protocols send from reusable scratch packets.
-// Derived classes implement `deliver(NodeId from, NodeId to, const Msg&)`.
-//
-// The optional per-round same-sender filter implements the simplifying
-// assumption in the proof of Theorem 1: "if a node receives 2 messages from
-// the same node at the same round, it will discard the second one".  It is
-// off by default (the real protocol keeps both); turning it on lets the
-// benches measure how conservative the assumption is.
+// Swapping the backend is the seam the deployable runtime plugs into:
+// `set_transport(std::make_unique<net::UdpTransport<Msg>>(...))` routes the
+// same protocol over real sockets, while the deterministic SimTransport
+// remains the reference backend pinned by the golden stopping-round traces.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <unordered_set>
+#include <memory>
 #include <utility>
-#include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/channel.hpp"
 #include "sim/rng.hpp"
 #include "sim/time_model.hpp"
+#include "sim/transport.hpp"
 
 namespace ag::sim {
 
@@ -41,109 +36,76 @@ template <typename Derived, typename Msg>
 class Mailbox {
  public:
   Mailbox(TimeModel tm, bool discard_same_sender_per_round)
-      : tm_(tm), discard_same_sender_(discard_same_sender_per_round) {}
+      : tm_(tm),
+        transport_(std::make_unique<SimTransport<Msg>>(tm, discard_same_sender_per_round)) {}
 
   TimeModel time_model() const noexcept { return tm_; }
 
-  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
-  std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+  std::uint64_t messages_sent() const noexcept { return transport_->stats().messages_sent; }
+  std::uint64_t messages_dropped() const noexcept {
+    return transport_->stats().messages_dropped;
+  }
 
-  // Failure injection now lives in the Channel (sim/channel.hpp): every send
-  // is offered to the channel, which may drop it with a global or per-edge
+  // Failure injection lives in the Channel (sim/channel.hpp): every send is
+  // offered to the channel, which may drop it with a global or per-edge
   // probability.  RLNC tolerates this gracefully -- a lost coded packet is
   // statistically interchangeable with the next one -- which the robustness
   // bench (E10) quantifies.
-  void set_channel(Channel ch) { channel_ = std::move(ch); }
-  const Channel& channel() const noexcept { return channel_; }
+  void set_channel(Channel ch) { transport_->set_channel(std::move(ch)); }
+  const Channel& channel() const noexcept { return transport_->channel(); }
 
   // Convenience for the common global-loss case; stream-identical to the
   // retired drop_probability/drop_rng members.
   void set_drop_probability(double p, std::uint64_t seed) {
-    channel_ = Channel::lossy(p, seed);
+    transport_->set_channel(Channel::lossy(p, seed));
   }
+
+  // The transport seam.  Replacing the backend mid-run forfeits anything the
+  // old backend still buffered; install the transport before the first send.
+  void set_transport(std::unique_ptr<Transport<Msg>> t) {
+    assert(t != nullptr);
+    transport_ = std::move(t);
+  }
+  Transport<Msg>& transport() noexcept { return *transport_; }
+  const Transport<Msg>& transport() const noexcept { return *transport_; }
+  const TransportStats& transport_stats() const noexcept { return transport_->stats(); }
 
  protected:
   // Send from a caller-owned buffer the caller may reuse afterwards.
-  // Asynchronous: delivered in place, no copy.  Synchronous: copy-assigned
-  // into a pooled envelope slot (vector capacity inside Msg is reused).
+  // SimTransport, asynchronous: delivered in place, no copy.  Synchronous:
+  // copy-assigned into a pooled envelope slot (vector capacity inside Msg is
+  // reused).  Wire transports serialize instead.
   void send(NodeId from, NodeId to, const Msg& msg) {
-    ++messages_sent_;
-    if (dropped(from, to)) return;
-    if (tm_ == TimeModel::Synchronous) {
-      Envelope& e = next_slot();
-      e.from = from;
-      e.to = to;
-      e.msg = msg;
-    } else {
-      static_cast<Derived*>(this)->deliver(from, to, msg);
-    }
+    DeliverToDerived thunk{this};
+    transport_->send(from, to, msg, DeliverRef<Msg>(thunk));
   }
 
   // Rvalue variant for callers handing over ownership.
   void send(NodeId from, NodeId to, Msg&& msg) {
-    ++messages_sent_;
-    if (dropped(from, to)) return;
-    if (tm_ == TimeModel::Synchronous) {
-      Envelope& e = next_slot();
-      e.from = from;
-      e.to = to;
-      e.msg = std::move(msg);
-    } else {
-      static_cast<Derived*>(this)->deliver(from, to, msg);
-    }
+    DeliverToDerived thunk{this};
+    transport_->send(from, to, std::move(msg), DeliverRef<Msg>(thunk));
   }
 
-  // Called at the synchronous round barrier; applies buffered messages in
-  // send order.  No-op under the asynchronous model.  Envelope slots are
-  // kept alive (cursor reset only) so their buffers are reused next round.
+  // Called at the synchronous round barrier; applies buffered/readable
+  // messages in arrival order.  No-op for the asynchronous SimTransport.
   void flush_inbox() {
-    if (inbox_used_ == 0) return;
-    if (discard_same_sender_) {
-      seen_pairs_.clear();
-      for (std::size_t i = 0; i < inbox_used_; ++i) {
-        const Envelope& e = inbox_[i];
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(e.from) << 32) | e.to;
-        if (!seen_pairs_.insert(key).second) continue;
-        static_cast<Derived*>(this)->deliver(e.from, e.to, e.msg);
-      }
-    } else {
-      for (std::size_t i = 0; i < inbox_used_; ++i) {
-        const Envelope& e = inbox_[i];
-        static_cast<Derived*>(this)->deliver(e.from, e.to, e.msg);
-      }
-    }
-    inbox_used_ = 0;
+    DeliverToDerived thunk{this};
+    transport_->drain(DeliverRef<Msg>(thunk));
   }
 
  private:
-  struct Envelope {
-    NodeId from = 0;
-    NodeId to = 0;
-    Msg msg{};
+  // A fresh stack-local callable per call: `this` is captured only for the
+  // duration of the transport call, so moved protocol objects never leave a
+  // dangling callback inside the transport.
+  struct DeliverToDerived {
+    Mailbox* self;
+    void operator()(NodeId from, NodeId to, const Msg& msg) const {
+      static_cast<Derived*>(self)->deliver(from, to, msg);
+    }
   };
 
-  bool dropped(NodeId from, NodeId to) {
-    if (!channel_.admits(from, to)) {
-      ++messages_dropped_;
-      return true;
-    }
-    return false;
-  }
-
-  Envelope& next_slot() {
-    if (inbox_used_ == inbox_.size()) inbox_.emplace_back();
-    return inbox_[inbox_used_++];
-  }
-
   TimeModel tm_;
-  bool discard_same_sender_;
-  std::vector<Envelope> inbox_;  // slot pool; first inbox_used_ are live
-  std::size_t inbox_used_ = 0;
-  std::unordered_set<std::uint64_t> seen_pairs_;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t messages_dropped_ = 0;
-  Channel channel_;  // ideal unless set_channel/set_drop_probability is called
+  std::unique_ptr<Transport<Msg>> transport_;
 };
 
 }  // namespace ag::sim

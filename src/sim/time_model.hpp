@@ -14,8 +14,11 @@ namespace ag::sim {
 enum class TimeModel : std::uint8_t { Synchronous, Asynchronous };
 
 // Message direction of a gossip transaction (Section 1): the initiator
-// pushes to the partner, pulls from the partner, or both.
-enum class Direction : std::uint8_t { Push, Pull, Exchange };
+// pushes to the partner, pulls from the partner, or both.  Broadcast is the
+// fourth discipline of the PUSH/PULL/EXCHANGE/BROADCAST matrix (cf. the
+// RLNC-Gossip systems lineage): the initiator sends one message to ALL of
+// its current neighbors and pulls from none.
+enum class Direction : std::uint8_t { Push, Pull, Exchange, Broadcast };
 
 constexpr std::string_view to_string(TimeModel tm) noexcept {
   return tm == TimeModel::Synchronous ? "sync" : "async";
@@ -26,6 +29,7 @@ constexpr std::string_view to_string(Direction d) noexcept {
     case Direction::Push: return "PUSH";
     case Direction::Pull: return "PULL";
     case Direction::Exchange: return "EXCHANGE";
+    case Direction::Broadcast: return "BROADCAST";
   }
   return "?";
 }

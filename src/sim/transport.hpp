@@ -1,0 +1,214 @@
+/// \file
+/// The transport seam: the interface between a gossip protocol's delivery
+/// semantics and whatever actually moves its messages.
+///
+/// Protocols never talk to a transport directly -- they inherit from
+/// sim::Mailbox (mailbox.hpp), which owns a Transport and forwards every
+/// send/barrier through it.  Two implementations exist:
+///
+///   SimTransport (this file)      : the deterministic in-process default.
+///     Buffered slot-pool delivery under the synchronous model, immediate
+///     delivery under the asynchronous model, loss injection via
+///     sim::Channel.  This is byte-for-byte the behavior Mailbox had before
+///     the seam existed -- the golden stopping-round traces pin it.
+///   net::UdpTransport (net/udp_transport.hpp) : the same contract over
+///     nonblocking UDP sockets, serializing packets through the versioned
+///     wire format (net/wire.hpp).
+///
+/// Contract:
+///   - send(from, to, msg, deliver) offers one message.  The transport MAY
+///     invoke `deliver` synchronously before returning (immediate-delivery
+///     paths: the asynchronous sim model) or buffer/transmit and deliver
+///     later from drain().
+///   - drain(deliver) is the round barrier: it delivers everything buffered
+///     or currently readable, in arrival order, then returns.  Under the
+///     synchronous sim model this realises "information received in round t
+///     is usable only from round t+1".
+///   - Delivery callbacks are *borrowed for the duration of the call only*
+///     (DeliverRef is a non-owning function ref).  A transport must never
+///     store one: protocol objects move, and a stored callback would dangle.
+///     This is what keeps protocols movable while Mailbox resolves the CRTP
+///     deliver() target at each call site.
+///
+/// Determinism clause: SimTransport consumes randomness only through its
+/// Channel (which has its OWN seeded stream and draws exactly once per send
+/// attempt when lossy, never when ideal).  Swapping transports therefore
+/// cannot shift partner selection or coding coefficients; a protocol on
+/// SimTransport is stream-identical to the pre-seam Mailbox.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/channel.hpp"
+#include "sim/time_model.hpp"
+
+namespace ag::sim {
+
+using graph::NodeId;
+
+/// Aggregate counters every transport keeps.  The byte counters stay zero
+/// for SimTransport (nothing is serialized); socket transports fill them.
+struct TransportStats {
+  std::uint64_t messages_sent = 0;     ///< send() calls (pre-loss)
+  std::uint64_t messages_dropped = 0;  ///< lost to the Channel / send errors
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t decode_failures = 0;  ///< malformed frames rejected (wire transports)
+};
+
+/// Non-owning reference to a delivery callback `void(from, to, const Msg&)`.
+/// Trivially copyable, no allocation, valid only for the borrowing call --
+/// see the file comment for why transports must not store one.
+template <typename Msg>
+class DeliverRef {
+ public:
+  template <typename F>
+  DeliverRef(F& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(&f), fn_([](void* o, NodeId from, NodeId to, const Msg& m) {
+          (*static_cast<F*>(o))(from, to, m);
+        }) {}
+
+  void operator()(NodeId from, NodeId to, const Msg& m) const { fn_(obj_, from, to, m); }
+
+ private:
+  void* obj_;
+  void (*fn_)(void*, NodeId, NodeId, const Msg&);
+};
+
+/// The seam interface.  Implementations decide buffering, serialization and
+/// loss; the Mailbox decides what delivery *means* (the protocol's deliver).
+template <typename Msg>
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual void send(NodeId from, NodeId to, const Msg& msg, DeliverRef<Msg> deliver) = 0;
+  /// Rvalue overload: the transport may steal the message's buffers.
+  virtual void send(NodeId from, NodeId to, Msg&& msg, DeliverRef<Msg> deliver) = 0;
+
+  /// Round barrier: deliver everything buffered or readable, then return.
+  virtual void drain(DeliverRef<Msg> deliver) = 0;
+
+  virtual const TransportStats& stats() const noexcept = 0;
+
+  /// Synthetic loss injection.  The sim transport honors it (lossy Channel);
+  /// wire transports may ignore it -- their links are lossy for real.
+  virtual void set_channel(Channel ch) = 0;
+  virtual const Channel& channel() const noexcept = 0;
+};
+
+/// The deterministic in-process default: the pre-seam Mailbox delivery
+/// machinery verbatim.
+///
+/// Allocation behaviour (unchanged): the synchronous inbox is a slot pool.
+/// Buffered envelopes are never destroyed at the barrier -- only a cursor is
+/// reset -- so a message type with heap buffers (coded packets) reuses its
+/// capacity round after round and the steady state allocates nothing.  The
+/// asynchronous path delivers by const reference without any copy at all.
+///
+/// The optional per-round same-sender filter implements the simplifying
+/// assumption in the proof of Theorem 1 ("if a node receives 2 messages from
+/// the same node at the same round, it will discard the second one").  Off
+/// by default; the benches use it to measure how conservative the
+/// assumption is.
+template <typename Msg>
+class SimTransport final : public Transport<Msg> {
+ public:
+  SimTransport(TimeModel tm, bool discard_same_sender_per_round)
+      : tm_(tm), discard_same_sender_(discard_same_sender_per_round) {}
+
+  TimeModel time_model() const noexcept { return tm_; }
+
+  void send(NodeId from, NodeId to, const Msg& msg, DeliverRef<Msg> deliver) override {
+    ++stats_.messages_sent;
+    if (dropped(from, to)) return;
+    if (tm_ == TimeModel::Synchronous) {
+      Envelope& e = next_slot();
+      e.from = from;
+      e.to = to;
+      e.msg = msg;
+    } else {
+      ++stats_.messages_delivered;
+      deliver(from, to, msg);
+    }
+  }
+
+  void send(NodeId from, NodeId to, Msg&& msg, DeliverRef<Msg> deliver) override {
+    ++stats_.messages_sent;
+    if (dropped(from, to)) return;
+    if (tm_ == TimeModel::Synchronous) {
+      Envelope& e = next_slot();
+      e.from = from;
+      e.to = to;
+      e.msg = std::move(msg);
+    } else {
+      ++stats_.messages_delivered;
+      deliver(from, to, msg);
+    }
+  }
+
+  // Applies buffered messages in send order, then resets the slot cursor
+  // (slots stay alive so their buffers are reused next round).  No-op under
+  // the asynchronous model.
+  void drain(DeliverRef<Msg> deliver) override {
+    if (inbox_used_ == 0) return;
+    if (discard_same_sender_) {
+      seen_pairs_.clear();
+      for (std::size_t i = 0; i < inbox_used_; ++i) {
+        const Envelope& e = inbox_[i];
+        const std::uint64_t key = (static_cast<std::uint64_t>(e.from) << 32) | e.to;
+        if (!seen_pairs_.insert(key).second) continue;
+        ++stats_.messages_delivered;
+        deliver(e.from, e.to, e.msg);
+      }
+    } else {
+      for (std::size_t i = 0; i < inbox_used_; ++i) {
+        const Envelope& e = inbox_[i];
+        ++stats_.messages_delivered;
+        deliver(e.from, e.to, e.msg);
+      }
+    }
+    inbox_used_ = 0;
+  }
+
+  const TransportStats& stats() const noexcept override { return stats_; }
+
+  void set_channel(Channel ch) override { channel_ = std::move(ch); }
+  const Channel& channel() const noexcept override { return channel_; }
+
+ private:
+  struct Envelope {
+    NodeId from = 0;
+    NodeId to = 0;
+    Msg msg{};
+  };
+
+  bool dropped(NodeId from, NodeId to) {
+    if (!channel_.admits(from, to)) {
+      ++stats_.messages_dropped;
+      return true;
+    }
+    return false;
+  }
+
+  Envelope& next_slot() {
+    if (inbox_used_ == inbox_.size()) inbox_.emplace_back();
+    return inbox_[inbox_used_++];
+  }
+
+  TimeModel tm_;
+  bool discard_same_sender_;
+  std::vector<Envelope> inbox_;  // slot pool; first inbox_used_ are live
+  std::size_t inbox_used_ = 0;
+  std::unordered_set<std::uint64_t> seen_pairs_;
+  TransportStats stats_;
+  Channel channel_;  // ideal unless set_channel is called
+};
+
+}  // namespace ag::sim
