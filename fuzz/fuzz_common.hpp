@@ -1,0 +1,59 @@
+// Shared scaffolding for the fuzz harnesses.
+//
+// Each harness defines LLVMFuzzerTestOneInput and is linked two ways:
+//   * under AG_FUZZ=ON (clang only) against libFuzzer (-fsanitize=fuzzer),
+//   * in every build against standalone_driver.cpp, which replays corpus
+//     files through the same entry point (the corpus_replay ctests).
+//
+// Invariant violations must abort in BOTH configurations, including Release
+// replay builds where NDEBUG strips assert(), so the harnesses use
+// FUZZ_ASSERT instead of assert.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#define FUZZ_ASSERT(cond, what)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s (%s:%d)\n", what,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace fuzz {
+
+// Tiny deterministic byte reader: harnesses derive shapes and choices from
+// the input prefix so libFuzzer can explore them.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : p_(data), n_(size) {}
+
+  std::uint8_t u8(std::uint8_t fallback = 0) {
+    if (i_ >= n_) return fallback;
+    return p_[i_++];
+  }
+
+  std::uint32_t u16(std::uint32_t fallback = 0) {
+    if (i_ + 2 > n_) return fallback;
+    const std::uint32_t v =
+        static_cast<std::uint32_t>(p_[i_]) | (static_cast<std::uint32_t>(p_[i_ + 1]) << 8);
+    i_ += 2;
+    return v;
+  }
+
+  const std::uint8_t* rest() const { return p_ + i_; }
+  std::size_t remaining() const { return n_ - i_; }
+
+ private:
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace fuzz

@@ -1,0 +1,463 @@
+#!/usr/bin/env python3
+"""ag_lint: repo-specific static checks the compiler cannot express.
+
+Three rule families over the `src/` tree (see docs/STATIC_ANALYSIS.md):
+
+  * layering      -- the include graph must respect the layer DAG below.
+  * determinism   -- the 4-clause determinism contract of
+                     docs/ARCHITECTURE.md: no wall clocks, no ambient
+                     randomness, no implementation-defined <random>
+                     algorithms, no raw modulo/shift reductions of RNG
+                     draws outside util/urbg.hpp, no stdout chatter.
+  * span-safety   -- raw-byte reinterpretation and pointer arithmetic on
+                     `.data()` stay confined to the codec/kernel layers
+                     that own those contracts.
+
+Waivers (the NOLINT analogue, budget printed with --waivers):
+
+  // ag-lint: allow(<rule>) -- <reason>          one line (same or previous)
+  // ag-lint: allow-file(<rule>) -- <reason>     whole file
+
+A reason is mandatory; a waiver without one is itself a violation.
+
+Exit status: 0 clean, 1 violations, 2 usage/config error.
+
+Self-test (`--selftest`): lints every fixture tree under
+scripts/lint_fixtures/; each fixture file declares the violations it
+expects with `// ag-lint-fixture: expect(<rule>)` headers, and the run
+fails if any expected violation does not fire or any unexpected one does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Layer DAG.  Key: directory directly under src/.  Value: the set of OTHER
+# layers its files may #include (its own layer is always allowed).  This is
+# the enforced form of the diagram in docs/ARCHITECTURE.md; adding a new
+# layer without declaring its dependencies here is an error by design.
+# --------------------------------------------------------------------------
+LAYER_DEPS = {
+    "util": set(),
+    "gf": set(),  # the field kernels include nothing above themselves
+    "stats": {"util"},
+    "graph": {"util"},
+    "linalg": {"gf", "util"},
+    "sim": {"graph", "util"},
+    "queueing": {"graph", "sim", "stats", "util"},
+    "core": {"gf", "linalg", "graph", "sim", "stats", "util"},
+    "net": {"gf", "linalg", "graph", "sim", "core", "util"},
+}
+
+# Layers bound by the determinism contract.  src/net is the only layer
+# allowed to touch wall clocks and sockets (it faces the real world); it is
+# still bound by the randomness rules (a transport must not sample).
+DETERMINISTIC_LAYERS = set(LAYER_DEPS) - {"net"}
+
+# Files allowed to reduce raw RNG draws: the one blessed implementation.
+URBG_FILE = "util/urbg.hpp"
+
+# Layers whose files may reinterpret raw bytes / do .data() arithmetic
+# without a waiver: the wire codec and the SIMD kernels own those contracts.
+SPAN_FREE_PREFIXES = ("net/", "gf/backend/")
+
+CXX_SUFFIXES = {".hpp", ".cpp", ".h", ".cc", ".cxx", ".hxx", ".ipp"}
+
+WAIVER_RE = re.compile(
+    r"//\s*ag-lint:\s*(allow|allow-file)\(([a-z0-9-]+)\)\s*(?:--\s*(.*\S))?"
+)
+EXPECT_RE = re.compile(r"//\s*ag-lint-fixture:\s*expect\(([a-z0-9-]+)\)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+class Violation:
+    def __init__(self, rule: str, path: str, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Waiver:
+    def __init__(self, rule: str, path: str, line: int, reason: str, whole_file: bool):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.reason = reason
+        self.whole_file = whole_file
+        self.used = False
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line structure
+    so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line | block | str | chr | rawstr
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                m = re.match(r'R"([^(\s]{0,16})\(', text[i - 1 : i + 20]) if i and text[i - 1] == "R" else None
+                if m:
+                    mode = "rawstr"
+                    raw_delim = ")" + m.group(1) + '"'
+                else:
+                    mode = "str"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                mode = "chr"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif mode == "line":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        elif mode == "str":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "code"
+                out.append('"')
+            else:
+                out.append("\n" if c == "\n" else " ")
+            i += 1
+        elif mode == "chr":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                mode = "code"
+                out.append("'")
+            else:
+                out.append(" ")
+            i += 1
+        else:  # rawstr
+            if text.startswith(raw_delim, i):
+                mode = "code"
+                out.append(raw_delim)
+                i += len(raw_delim)
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------
+# Rules.  Each line rule: (rule-id, compiled regex, layer predicate, message).
+# The predicate receives the file's path relative to src/ ("sim/engine.hpp").
+# --------------------------------------------------------------------------
+def in_deterministic_layer(rel: str) -> bool:
+    return rel.split("/", 1)[0] in DETERMINISTIC_LAYERS
+
+
+def everywhere(_rel: str) -> bool:
+    return True
+
+
+def outside_urbg(rel: str) -> bool:
+    return rel != URBG_FILE
+
+
+def outside_span_free(rel: str) -> bool:
+    return not rel.startswith(SPAN_FREE_PREFIXES)
+
+
+LINE_RULES = [
+    (
+        "no-libc-rand",
+        re.compile(r"(?<![\w:])(?:std::)?s?rand\s*\("),
+        everywhere,
+        "libc rand()/srand() is unseeded ambient state; draw from sim::Rng",
+    ),
+    (
+        "no-random-device",
+        re.compile(r"std::random_device"),
+        everywhere,
+        "std::random_device is nondeterministic; seeds come from config",
+    ),
+    (
+        "no-wallclock",
+        re.compile(
+            r"std::chrono|#\s*include\s*<chrono>|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+            r"|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+        ),
+        in_deterministic_layer,
+        "wall-clock time in a deterministic layer; only src/net may read clocks",
+    ),
+    (
+        "no-stdout",
+        re.compile(r"std::(?:cout|cerr|clog)\b|(?<![\w:])f?printf\s*\(|\bputs\s*\("),
+        everywhere,
+        "library layers must not print; report through return values/stats",
+    ),
+    (
+        "no-std-distribution",
+        re.compile(
+            r"std::(?:uniform_int_distribution|uniform_real_distribution"
+            r"|bernoulli_distribution|normal_distribution|poisson_distribution"
+            r"|geometric_distribution|exponential_distribution|discrete_distribution"
+            r"|binomial_distribution|generate_canonical)\b|std::shuffle\s*\(|std::sample\s*\("
+        ),
+        everywhere,
+        "standard <random> distributions/shuffle are implementation-defined; "
+        "use util::uniform_below / util::canonical_double",
+    ),
+    (
+        "no-raw-rng-mod",
+        re.compile(r"\b\w*rng_?\s*\(\s*\)\s*%"),
+        outside_urbg,
+        "raw `rng() % n` is modulo-biased; use util::uniform_below",
+    ),
+    (
+        "no-raw-float-draw",
+        re.compile(r"\(\s*\)\s*>>\s*11\b"),
+        outside_urbg,
+        "raw `draw >> 11` double construction assumes a 64-bit generator; "
+        "use util::canonical_double",
+    ),
+    (
+        "no-reinterpret-cast",
+        re.compile(r"\breinterpret_cast\s*<"),
+        outside_span_free,
+        "reinterpret_cast outside src/net and src/gf/backend",
+    ),
+    (
+        "data-arith",
+        re.compile(r"\.data\s*\(\s*\)\s*\+"),
+        outside_span_free,
+        "pointer arithmetic on .data() outside src/net and src/gf/backend; "
+        "take a std::span or waive with the bounds argument",
+    ),
+]
+
+ALL_RULES = sorted({r[0] for r in LINE_RULES} | {"layering", "bad-waiver"})
+
+
+def collect_waivers(raw_lines: list[str], rel: str) -> tuple[list[Waiver], list[Violation]]:
+    waivers: list[Waiver] = []
+    violations: list[Violation] = []
+    for lineno, line in enumerate(raw_lines, 1):
+        for m in WAIVER_RE.finditer(line):
+            kind, rule, reason = m.group(1), m.group(2), m.group(3)
+            if rule not in ALL_RULES:
+                violations.append(
+                    Violation("bad-waiver", rel, lineno, f"waiver names unknown rule '{rule}'")
+                )
+                continue
+            if not reason:
+                violations.append(
+                    Violation(
+                        "bad-waiver", rel, lineno, f"waiver for '{rule}' has no `-- <reason>`"
+                    )
+                )
+                continue
+            waivers.append(Waiver(rule, rel, lineno, reason, kind == "allow-file"))
+    return waivers, violations
+
+
+def waived(waivers: list[Waiver], rule: str, lineno: int) -> bool:
+    for w in waivers:
+        if w.rule != rule:
+            continue
+        if w.whole_file or w.line in (lineno, lineno - 1):
+            w.used = True
+            return True
+    return False
+
+
+def lint_file(path: Path, rel: str) -> tuple[list[Violation], list[Waiver]]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    waivers, violations = collect_waivers(raw_lines, rel)
+    code_lines = strip_comments_and_strings(raw).splitlines()
+
+    layer = rel.split("/", 1)[0]
+    if layer not in LAYER_DEPS:
+        violations.append(
+            Violation(
+                "layering",
+                rel,
+                1,
+                f"layer '{layer}' is not declared in LAYER_DEPS (scripts/ag_lint.py); "
+                "add it with an explicit dependency set",
+            )
+        )
+        return violations, waivers
+    allowed = LAYER_DEPS[layer] | {layer}
+
+    for lineno, line in enumerate(code_lines, 1):
+        # The stripper blanks string-literal contents, so detect the include
+        # on the stripped line (a commented-out include must not fire) but
+        # pull the path from the raw line.
+        m = INCLUDE_RE.match(raw_lines[lineno - 1]) if INCLUDE_RE.match(line) else None
+        if m:
+            target = m.group(1).split("/", 1)[0]
+            # Quoted includes are repo-relative (target_include_directories
+            # points at src/); a single-component include is same-directory.
+            if "/" in m.group(1) and target in LAYER_DEPS and target not in allowed:
+                if not waived(waivers, "layering", lineno):
+                    violations.append(
+                        Violation(
+                            "layering",
+                            rel,
+                            lineno,
+                            f'src/{layer} may not include "{m.group(1)}" '
+                            f"(allowed: {', '.join(sorted(allowed))})",
+                        )
+                    )
+        for rule, regex, applies, message in LINE_RULES:
+            if not applies(rel):
+                continue
+            if regex.search(line) and not waived(waivers, rule, lineno):
+                violations.append(Violation(rule, rel, lineno, message))
+    return violations, waivers
+
+
+def lint_tree(src_root: Path) -> tuple[list[Violation], list[Waiver]]:
+    if not src_root.is_dir():
+        print(f"ag_lint: no such directory: {src_root}", file=sys.stderr)
+        sys.exit(2)
+    violations: list[Violation] = []
+    waivers: list[Waiver] = []
+    for path in sorted(src_root.rglob("*")):
+        if path.suffix not in CXX_SUFFIXES or not path.is_file():
+            continue
+        rel = path.relative_to(src_root).as_posix()
+        v, w = lint_file(path, rel)
+        violations.extend(v)
+        waivers.extend(w)
+    for w in waivers:
+        if not w.used:
+            violations.append(
+                Violation(
+                    "bad-waiver",
+                    w.path,
+                    w.line,
+                    f"waiver for '{w.rule}' matched nothing; delete it",
+                )
+            )
+    return violations, waivers
+
+
+# --------------------------------------------------------------------------
+# Self-test over scripts/lint_fixtures/: each fixture tree is a miniature
+# src/ whose files declare their expected violations inline.
+# --------------------------------------------------------------------------
+def selftest(fixtures_root: Path) -> int:
+    if not fixtures_root.is_dir():
+        print(f"ag_lint --selftest: missing fixture root {fixtures_root}", file=sys.stderr)
+        return 2
+    failures = 0
+    cases = sorted(p for p in fixtures_root.iterdir() if (p / "src").is_dir())
+    if not cases:
+        print("ag_lint --selftest: no fixture cases found", file=sys.stderr)
+        return 2
+    for case in cases:
+        src = case / "src"
+        expected: set[tuple[str, str]] = set()
+        for path in sorted(src.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(src).as_posix()
+            for m in EXPECT_RE.finditer(path.read_text(encoding="utf-8")):
+                rule = m.group(1)
+                if rule not in ALL_RULES:
+                    print(f"FAIL {case.name}: {rel} expects unknown rule '{rule}'")
+                    failures += 1
+                expected.add((rel, rule))
+        got_list, _ = lint_tree(src)
+        got = {(v.path, v.rule) for v in got_list}
+        for miss in sorted(expected - got):
+            print(f"FAIL {case.name}: expected {miss[1]} in {miss[0]}, did not fire")
+            failures += 1
+        for extra in sorted(got - expected):
+            print(f"FAIL {case.name}: unexpected {extra[1]} in {extra[0]}")
+            failures += 1
+        if expected == got:
+            kinds = len({r for _, r in expected})
+            print(f"ok   {case.name}: {len(expected)} expected violation(s), {kinds} rule(s)")
+    if failures:
+        print(f"ag_lint --selftest: {failures} failure(s)")
+        return 1
+    print(f"ag_lint --selftest: {len(cases)} fixture tree(s) pass")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "src",
+        nargs="?",
+        default=None,
+        help="source tree to lint (default: <repo>/src next to this script)",
+    )
+    parser.add_argument("--selftest", action="store_true", help="run fixture self-test")
+    parser.add_argument("--waivers", action="store_true", help="print the waiver budget")
+    parser.add_argument("--list-rules", action="store_true", help="list rule ids")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        print("\n".join(ALL_RULES))
+        return 0
+
+    here = Path(__file__).resolve().parent
+    if args.selftest:
+        return selftest(here / "lint_fixtures")
+
+    src_root = Path(args.src) if args.src else here.parent / "src"
+    violations, waivers = lint_tree(src_root)
+    for v in violations:
+        print(v)
+    if args.waivers or not violations:
+        used = [w for w in waivers if w.used]
+        print(
+            f"ag_lint: {src_root}: {len(violations)} violation(s), "
+            f"{len(used)} waiver(s) in effect"
+        )
+        for w in used:
+            scope = "file" if w.whole_file else "line"
+            print(f"  waiver[{scope}] {w.path}:{w.line} {w.rule} -- {w.reason}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+// gf may include its own subdirectories (the backend dispatch) -- only
+// upward includes are layering violations.
+#pragma once
+#include "gf/backend/backend.hpp"
+#include "gf/field_concept.hpp"

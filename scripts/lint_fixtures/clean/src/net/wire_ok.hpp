@@ -1,0 +1,25 @@
+// The net layer owns the codec/socket contracts: raw-byte reinterpretation,
+// .data() arithmetic and wall-clock reads are allowed here without waivers
+// (it is still bound by the randomness rules).
+#pragma once
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "core/swarm.hpp"
+
+namespace fixture_net {
+
+inline const std::uint8_t* body(const std::vector<std::uint8_t>& frame) {
+  return frame.data() + 12;
+}
+
+inline std::int64_t deadline_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+inline const std::uint32_t* as_u32(const std::uint8_t* p) {
+  return reinterpret_cast<const std::uint32_t*>(p);
+}
+
+}  // namespace fixture_net

@@ -1,0 +1,9 @@
+// ag-lint-fixture: expect(bad-waiver)
+// Three broken waivers: no reason, unknown rule, and a reasoned waiver that
+// matches no violation (stale suppressions must not linger).
+#pragma once
+
+// ag-lint: allow(no-stdout)
+// ag-lint: allow(made-up-rule) -- this rule does not exist
+// ag-lint: allow(no-libc-rand) -- nothing on the next line actually calls rand
+inline int fine() { return 0; }

@@ -1,0 +1,7 @@
+// ag-lint-fixture: expect(no-reinterpret-cast)
+#pragma once
+#include <cstdint>
+
+inline const std::uint64_t* as_words(const std::uint8_t* bytes) {
+  return reinterpret_cast<const std::uint64_t*>(bytes);
+}

@@ -1,0 +1,8 @@
+// ag-lint-fixture: expect(no-raw-rng-mod)
+#pragma once
+#include <cstdint>
+
+template <typename URBG>
+std::uint64_t biased_pick(URBG& rng, std::uint64_t n) {
+  return rng() % n;
+}

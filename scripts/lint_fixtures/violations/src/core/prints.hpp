@@ -1,0 +1,5 @@
+// ag-lint-fixture: expect(no-stdout)
+#pragma once
+#include <iostream>
+
+inline void debug_spam(int rank) { std::cout << "rank=" << rank << "\n"; }

@@ -1,0 +1,5 @@
+// ag-lint-fixture: expect(no-libc-rand)
+#pragma once
+#include <cstdlib>
+
+inline int roll() { return rand() % 6; }

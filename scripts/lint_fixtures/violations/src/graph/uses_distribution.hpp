@@ -1,0 +1,8 @@
+// ag-lint-fixture: expect(no-std-distribution)
+#pragma once
+#include <random>
+
+inline int draw(std::mt19937_64& rng, int n) {
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  return pick(rng);
+}

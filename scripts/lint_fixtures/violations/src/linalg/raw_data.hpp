@@ -1,0 +1,9 @@
+// ag-lint-fixture: expect(data-arith)
+#pragma once
+#include <cstdint>
+#include <vector>
+
+inline std::uint8_t* row(std::vector<std::uint8_t>& arena, std::size_t i,
+                         std::size_t stride) {
+  return arena.data() + i * stride;
+}

@@ -1,0 +1,7 @@
+// ag-lint-fixture: expect(no-wallclock)
+#pragma once
+#include <chrono>
+
+inline long long now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// ag-lint-fixture: expect(no-raw-float-draw)
+#pragma once
+#include <cstdint>
+
+template <typename URBG>
+double hand_rolled_uniform01(URBG& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}

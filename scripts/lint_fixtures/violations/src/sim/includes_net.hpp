@@ -1,0 +1,4 @@
+// ag-lint-fixture: expect(layering)
+// The sim layer may not reach up into the net layer.
+#pragma once
+#include "net/wire.hpp"

@@ -1,0 +1,5 @@
+// ag-lint-fixture: expect(no-random-device)
+#pragma once
+#include <random>
+
+inline unsigned ambient_seed() { return std::random_device{}(); }

@@ -1,0 +1,4 @@
+// ag-lint-fixture: expect(layering)
+// A directory not declared in LAYER_DEPS must be flagged until its
+// dependency set is spelled out.
+#pragma once

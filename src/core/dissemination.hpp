@@ -24,6 +24,7 @@ struct OwnedIndex {
   std::vector<std::uint32_t> items;    // k message indices grouped by node
 
   std::span<const std::uint32_t> of(graph::NodeId v) const noexcept {
+    // ag-lint: allow(data-arith) -- CSR slice; offsets[v] <= offsets[v+1] <= items.size() by construction
     return {items.data() + offsets[v], items.data() + offsets[v + 1]};
   }
 };

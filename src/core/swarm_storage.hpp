@@ -1,6 +1,8 @@
 /// \file
 /// Decoder storage policies for RlncSwarm: how n nodes' decoder state is
 /// laid out in memory.
+// ag-lint: allow-file(data-arith) -- SoA pool slicing: node id < n_ is asserted and every
+// stripe offset is v * fixed-stride into arenas sized n_ * stride at construction.
 ///
 /// RlncSwarm<D, Store> is parameterised over a Store so the same protocol
 /// code runs at two very different scales:

@@ -41,7 +41,9 @@ namespace detail {
 inline bool spans_disjoint(const void* a, const void* b,
                            std::size_t bytes) noexcept {
   if (bytes == 0) return true;
+  // ag-lint: allow(no-reinterpret-cast) -- pointer-to-integer only, for an address-range test
   const auto pa = reinterpret_cast<std::uintptr_t>(a);
+  // ag-lint: allow(no-reinterpret-cast) -- pointer-to-integer only, for an address-range test
   const auto pb = reinterpret_cast<std::uintptr_t>(b);
   return pa + bytes <= pb || pb + bytes <= pa;
 }

@@ -37,6 +37,7 @@ class CsrGraph {
   std::size_t edge_count() const noexcept { return edge_count_; }
 
   std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    // ag-lint: allow(data-arith) -- CSR slice; offsets_ is monotone with offsets_[n] == targets_.size()
     return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
   }
 

@@ -7,8 +7,24 @@
 #include <vector>
 
 #include "graph/algorithms.hpp"
+#include "util/urbg.hpp"
 
 namespace ag::graph {
+
+namespace {
+
+// Portable Fisher-Yates: std::shuffle's draw sequence is implementation-
+// defined, so the same seed would grow different graphs on libstdc++ and
+// libc++.  util::uniform_below pins the algorithm.
+template <typename URBG>
+void portable_shuffle(std::vector<NodeId>& v, URBG& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(util::uniform_below(rng, i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace
 
 Graph make_path(std::size_t n) {
   Graph g(n);
@@ -85,7 +101,7 @@ Graph make_barbell(std::size_t n) {
   for (NodeId u = 0; u < left; ++u)
     for (NodeId v = u + 1; v < left; ++v) g.add_edge(u, v);
   for (auto u = static_cast<NodeId>(left); u < n; ++u)
-    for (auto v = static_cast<NodeId>(u + 1); v < n; ++v) g.add_edge(u, v);
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
   g.add_edge(static_cast<NodeId>(left - 1), static_cast<NodeId>(left));
   return g;
 }
@@ -116,18 +132,19 @@ Graph make_lollipop(std::size_t n, std::size_t clique_size) {
   for (NodeId u = 0; u < clique_size; ++u)
     for (NodeId v = u + 1; v < clique_size; ++v) g.add_edge(u, v);
   for (auto i = static_cast<NodeId>(clique_size); i < n; ++i)
-    g.add_edge(static_cast<NodeId>(i - 1), i);
+    g.add_edge(i - 1, i);
   return g;
 }
 
 Graph make_erdos_renyi(std::size_t n, double p, std::uint64_t seed) {
+  // std::bernoulli_distribution's draw count per sample is implementation-
+  // defined; comparing a canonical double keeps seeded graphs portable.
   std::mt19937_64 rng(seed);
-  std::bernoulli_distribution coin(p);
   for (int attempt = 0; attempt < 200; ++attempt) {
     Graph g(n);
     for (NodeId u = 0; u < n; ++u)
       for (NodeId v = u + 1; v < n; ++v)
-        if (coin(rng)) g.add_edge(u, v);
+        if (util::canonical_double(rng) < p) g.add_edge(u, v);
     if (is_connected(g)) return g;
   }
   throw std::invalid_argument("erdos_renyi: could not produce a connected graph; raise p");
@@ -143,7 +160,7 @@ Graph make_random_regular(std::size_t n, std::size_t d, std::uint64_t seed) {
     stubs.reserve(n * d);
     for (NodeId v = 0; v < n; ++v)
       for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
-    std::shuffle(stubs.begin(), stubs.end(), rng);
+    portable_shuffle(stubs, rng);
     Graph g(n);
     bool simple = true;
     for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
@@ -160,12 +177,16 @@ Graph make_random_regular(std::size_t n, std::size_t d, std::uint64_t seed) {
 Graph make_ring_with_chords(std::size_t n, std::size_t chords, std::uint64_t seed) {
   Graph g = make_cycle(n);
   std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>(n - 1));
+  const auto pick = [&rng, n] {
+    return static_cast<NodeId>(util::uniform_below(rng, n));
+  };
   std::size_t added = 0;
   std::size_t guard = 0;
   while (added < chords && guard < 100 * chords + 1000) {
     ++guard;
-    if (g.add_edge(pick(rng), pick(rng))) ++added;
+    const NodeId u = pick();
+    const NodeId v = pick();
+    if (g.add_edge(u, v)) ++added;
   }
   return g;
 }

@@ -1,5 +1,7 @@
 /// \file
 /// Bit-packed incremental decoder over GF(2).
+// ag-lint: allow-file(data-arith) -- row_ptr slices the row arena; i < rank_ <= k_ always
+// and the arena is reserved at k_ * row_stride_ words, so every stripe is in bounds.
 ///
 /// Same contract as DenseDecoder<GF2> but with coefficient rows packed 64 bits
 /// per word, so a rank update costs O(k * rank / 64) word operations.  The

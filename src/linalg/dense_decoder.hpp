@@ -1,5 +1,7 @@
 /// \file
 /// Incremental Gaussian-elimination decoder over a generic finite field.
+// ag-lint: allow-file(data-arith) -- row_ptr slices the row arena; i < rank_ <= k_ always
+// and the arena is reserved at k_ * row_stride_ symbols, so every stripe is in bounds.
 ///
 /// This is the data structure every algebraic-gossip node maintains (Section 2
 /// of the paper): a matrix of linear equations over F_q in the k unknown

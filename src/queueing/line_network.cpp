@@ -30,6 +30,7 @@ std::vector<std::size_t> move_one_back(std::vector<std::size_t> placement, std::
 }
 
 std::vector<std::size_t> all_at_farthest(std::size_t queues, std::size_t k) {
+  if (queues == 0) throw std::invalid_argument("all_at_farthest needs queues >= 1");
   std::vector<std::size_t> placement(queues, 0);
   placement.back() = k;
   return placement;

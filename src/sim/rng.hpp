@@ -59,10 +59,10 @@ class Rng {
   // per attempt, reject above max() - max() % n, then reduce.
   std::uint64_t uniform(std::uint64_t n) noexcept { return util::uniform_below(*this, n); }
 
-  // Uniform double in [0, 1).
-  double uniform01() noexcept {
-    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
-  }
+  // Uniform double in [0, 1) with 53 mantissa bits.  Delegates to the shared
+  // helper, which for this full-width 64-bit generator reduces to the
+  // historical `draw >> 11` mapping -- the stream is unchanged.
+  double uniform01() noexcept { return util::canonical_double(*this); }
 
   bool bernoulli(double p) noexcept { return uniform01() < p; }
 

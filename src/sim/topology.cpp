@@ -91,7 +91,7 @@ std::size_t ScriptedTopology::index_for(std::uint64_t round) const {
     return i;
   }
   // 1-based rounds: rounds [1, period] run phase 0, then phase 1, ...
-  return static_cast<std::size_t>(((round - 1) / period_) % phases_.size());
+  return ((round - 1) / period_) % phases_.size();
 }
 
 // --- Scenario factories -----------------------------------------------------

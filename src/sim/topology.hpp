@@ -150,7 +150,7 @@ class CompleteTopology final : public TopologyView {
 
   NodeId sample(NodeId v, Rng& rng) const override {
     const auto idx = static_cast<NodeId>(rng.uniform(n_ - 1));
-    return idx < v ? idx : static_cast<NodeId>(idx + 1);
+    return idx < v ? idx : idx + 1;
   }
 
   bool is_static() const override { return true; }
@@ -200,13 +200,13 @@ class BarbellTopology final : public TopologyView {
       // appended after its clique neighbors.
       if (v == L - 1 && i == static_cast<std::size_t>(L) - 1) return L;
       const auto u = static_cast<NodeId>(i);
-      return u < v ? u : static_cast<NodeId>(u + 1);
+      return u < v ? u : u + 1;
     }
     // Right clique: [L, n) \ {v} ascending; node L gets the bridge (L-1)
     // appended after its clique neighbors.
-    if (v == L && i == n_ - left_ - 1) return static_cast<NodeId>(L - 1);
+    if (v == L && i == n_ - left_ - 1) return L - 1;
     const auto u = static_cast<NodeId>(L + i);
-    return u < v ? u : static_cast<NodeId>(u + 1);
+    return u < v ? u : u + 1;
   }
 
   std::size_t n_;
