@@ -12,6 +12,11 @@ Three rule families over the `src/` tree (see docs/STATIC_ANALYSIS.md):
   * span-safety   -- raw-byte reinterpretation and pointer arithmetic on
                      `.data()` stay confined to the codec/kernel layers
                      that own those contracts.
+  * shared-state  -- `mutable` members combined with `const_cast` in
+                     core/ or linalg/ (the pattern that once shared one
+                     scratch stripe swarm-wide behind a const ref()); split
+                     const/non-const accessors instead, or waive with the
+                     aliasing argument.
 
 Waivers (the NOLINT analogue, budget printed with --waivers):
 
@@ -269,7 +274,17 @@ LINE_RULES = [
     ),
 ]
 
-ALL_RULES = sorted({r[0] for r in LINE_RULES} | {"layering", "bad-waiver"})
+# Layers where a `mutable` member plus a `const_cast` in the same file is
+# treated as the shared-state smell (pooled stores handing out mutable views
+# from const accessors).  Not a LINE_RULE because it needs file scope: the
+# `mutable` declaration and the `const_cast` are never on the same line.
+MUTABLE_CONST_CAST_PREFIXES = ("core/", "linalg/")
+MUTABLE_RE = re.compile(r"\bmutable\b")
+CONST_CAST_RE = re.compile(r"\bconst_cast\s*<")
+
+ALL_RULES = sorted(
+    {r[0] for r in LINE_RULES} | {"layering", "bad-waiver", "mutable-const-cast"}
+)
 
 
 def collect_waivers(raw_lines: list[str], rel: str) -> tuple[list[Waiver], list[Violation]]:
@@ -349,6 +364,24 @@ def lint_file(path: Path, rel: str) -> tuple[list[Violation], list[Waiver]]:
                 continue
             if regex.search(line) and not waived(waivers, rule, lineno):
                 violations.append(Violation(rule, rel, lineno, message))
+
+    if rel.startswith(MUTABLE_CONST_CAST_PREFIXES) and any(
+        MUTABLE_RE.search(l) for l in code_lines
+    ):
+        for lineno, line in enumerate(code_lines, 1):
+            if CONST_CAST_RE.search(line) and not waived(
+                waivers, "mutable-const-cast", lineno
+            ):
+                violations.append(
+                    Violation(
+                        "mutable-const-cast",
+                        rel,
+                        lineno,
+                        "const_cast in a file with `mutable` members: the "
+                        "const-accessor-hands-out-shared-mutable-state pattern; "
+                        "split const/non-const accessors (see swarm_storage.hpp)",
+                    )
+                )
     return violations, waivers
 
 

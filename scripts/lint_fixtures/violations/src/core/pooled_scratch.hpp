@@ -1,0 +1,16 @@
+// ag-lint-fixture: expect(mutable-const-cast)
+// ag-lint-fixture: expect(data-arith)
+// The pre-fix swarm_storage.hpp shape: a const accessor const_casts away
+// its own constness to hand out a mutable view over a `mutable` scratch
+// stripe shared by every caller -- a data race the moment two shards write.
+#pragma once
+#include <cstddef>
+#include <vector>
+
+struct PooledScratch {
+  int* stripe(std::size_t v) const {
+    auto* self = const_cast<PooledScratch*>(this);
+    return self->scratch_.data() + v * 0;
+  }
+  mutable std::vector<int> scratch_;
+};

@@ -1,0 +1,55 @@
+/// \file
+/// ShardPlan: the balanced contiguous node partition shared by the pooled
+/// decoder stores (core/swarm_storage.hpp) and the sharded round runner
+/// (core/sharded_round.hpp).
+///
+/// Shard s of S covers the contiguous node range [begin(s), end(s)); the
+/// first n % S shards get one extra node so sizes differ by at most one.
+/// The partition is a pure function of (n, S) -- both sides of the sharded
+/// execution path (scratch-stripe selection in the stores, per-shard work
+/// lists in the runner) derive it independently and must agree, which is
+/// why it lives in one header instead of two ad-hoc formulas.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ag::core {
+
+class ShardPlan {
+ public:
+  /// A single-shard plan: the serial layout every store starts with.
+  ShardPlan() = default;
+
+  /// Partition n nodes into `shards` contiguous ranges.  The count is
+  /// clamped to [1, max(n, 1)] so a shard is never empty: asking for more
+  /// parallelism than nodes silently degrades to one node per shard.
+  ShardPlan(std::size_t n, std::size_t shards) noexcept
+      : n_(n),
+        shards_(std::clamp<std::size_t>(shards, 1, std::max<std::size_t>(n, 1))),
+        quot_(n_ / shards_),
+        rem_(n_ % shards_) {}
+
+  std::size_t node_count() const noexcept { return n_; }
+  std::size_t shard_count() const noexcept { return shards_; }
+
+  /// First node of shard s (s == shard_count() yields n: the end sentinel).
+  std::size_t begin(std::size_t s) const noexcept {
+    return s * quot_ + std::min(s, rem_);
+  }
+  std::size_t end(std::size_t s) const noexcept { return begin(s + 1); }
+
+  /// The shard owning node v; inverse of begin/end.
+  std::size_t shard_of(std::size_t v) const noexcept {
+    const std::size_t split = rem_ * (quot_ + 1);
+    return v < split ? v / (quot_ + 1) : rem_ + (v - split) / quot_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t shards_ = 1;
+  std::size_t quot_ = 0;
+  std::size_t rem_ = 0;
+};
+
+}  // namespace ag::core

@@ -14,22 +14,27 @@
 ///   * DenseRankStore<F> / BitRankStore: structure-of-arrays pools for the
 ///     rank-only trackers (linalg/rank_tracker.hpp).  ALL nodes' rows live
 ///     in one arena allocation (n * k * stride symbols), pivot maps and rank
-///     counters are flat arrays, and one scratch stripe is shared by the
-///     whole swarm -- a node's decoder state is touched by at most one
-///     insert/combine at a time within a run, so per-node scratch would be
-///     pure waste.  At n = 100k, k = 32 over GF(2) the whole swarm's decoder
-///     state is ~26 MiB in three allocations instead of ~400k separate
-///     heap blocks.
+///     counters are flat arrays, and scratch is one stripe *per shard* of a
+///     ShardPlan (core/shard_plan.hpp): at(v) hands out the stripe of the
+///     shard owning v, so the sharded round runner can insert into nodes of
+///     different shards concurrently without the stripes aliasing.  The
+///     default plan has one shard -- a single stripe for the whole swarm,
+///     exactly the serial layout.  At n = 100k, k = 32 over GF(2) the whole
+///     swarm's decoder state is ~26 MiB in three allocations instead of
+///     ~400k separate heap blocks.
 ///
 /// Store interface consumed by RlncSwarm:
 ///   Store(n, k, payload_len)      construct n empty decoders
 ///   at(v) -> D& or ref-view       decoder access (value-semantics views OK)
 ///   reset(v)                      return node v to the empty-decoder state
+///   configure_shards(s)           size the scratch pool for s-way sharding
 ///   memory_bytes()                decoder-state footprint (for benches)
 ///
-/// Thread-safety matches the rest of the experiment layer: one swarm is
-/// owned by one protocol instance and touched by one run; parallel sweeps
-/// use one protocol (hence one store) per worker.
+/// Thread-safety: with the default single-shard plan, one swarm is owned by
+/// one protocol instance and touched by one run (parallel sweeps use one
+/// store per worker).  After configure_shards(s), concurrent access is safe
+/// iff each thread only calls at(v)/reset(v) for nodes v of one shard --
+/// the contiguous-range discipline core/sharded_round.hpp enforces.
 #pragma once
 
 #include <algorithm>
@@ -37,6 +42,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/shard_plan.hpp"
 #include "graph/graph.hpp"
 #include "linalg/rank_tracker.hpp"
 
@@ -59,6 +65,10 @@ class VectorNodeStore {
 
   /// Churn reset: node v restarts with an empty decoder.
   void reset(graph::NodeId v) { nodes_[v] = D(k_, payload_len_); }
+
+  /// No-op: every decoder object already owns its scratch, so the store is
+  /// shard-safe under the contiguous-range discipline as constructed.
+  void configure_shards(std::size_t /*shards*/) {}
 
   /// Rough decoder-state footprint; full decoders reserve their arenas at
   /// full-rank capacity up front, so this is capacity, not current rank.
@@ -94,13 +104,23 @@ class DenseRankStore {
         arena_(n * k * k, F::zero),
         pivot_row_(n * k, linalg::kNoPivot),
         rank_(n, 0),
+        plan_(n, 1),
         scratch_(k, F::zero) {}
 
-  ref_type at(graph::NodeId v) { return ref(v); }
+  ref_type at(graph::NodeId v) {
+    return ref_type(arena_.data() + static_cast<std::size_t>(v) * k_ * k_,
+                    pivot_row_.data() + static_cast<std::size_t>(v) * k_,
+                    rank_.data() + v, scratch_stripe(v), k_);
+  }
   /// Const access yields a view without insert(), mirroring how a const
   /// VectorNodeStore yields `const D&`: const swarm access cannot mutate
-  /// decoder state behind the completion tracking.
-  const_ref_type at(graph::NodeId v) const { return const_ref_type(ref(v)); }
+  /// decoder state behind the completion tracking.  (The scratch stripe it
+  /// carries is per-call workspace for contains(), not decoder state.)
+  const_ref_type at(graph::NodeId v) const {
+    return const_ref_type(arena_.data() + static_cast<std::size_t>(v) * k_ * k_,
+                          pivot_row_.data() + static_cast<std::size_t>(v) * k_,
+                          rank_.data() + v, scratch_stripe(v), k_);
+  }
 
   void reset(graph::NodeId v) {
     const std::size_t base = static_cast<std::size_t>(v) * k_;
@@ -112,6 +132,14 @@ class DenseRankStore {
     rank_[v] = 0;
   }
 
+  /// Size the scratch pool for `shards`-way concurrent access: one stripe
+  /// per shard of the (n, shards) ShardPlan.  Not safe to call while views
+  /// from at() are live (they hold stripe pointers into the old pool).
+  void configure_shards(std::size_t shards) {
+    plan_ = ShardPlan(n_, shards);
+    scratch_.assign(plan_.shard_count() * k_, F::zero);
+  }
+
   std::size_t memory_bytes() const noexcept {
     return arena_.size() * sizeof(value_type) +
            pivot_row_.size() * sizeof(std::uint32_t) +
@@ -119,11 +147,8 @@ class DenseRankStore {
   }
 
  private:
-  ref_type ref(graph::NodeId v) const noexcept {
-    auto* self = const_cast<DenseRankStore*>(this);
-    return ref_type(self->arena_.data() + static_cast<std::size_t>(v) * k_ * k_,
-                    self->pivot_row_.data() + static_cast<std::size_t>(v) * k_,
-                    self->rank_.data() + v, self->scratch_.data(), k_);
+  value_type* scratch_stripe(graph::NodeId v) const noexcept {
+    return scratch_.data() + plan_.shard_of(v) * k_;
   }
 
   std::size_t n_;
@@ -131,7 +156,8 @@ class DenseRankStore {
   std::vector<value_type> arena_;        // n * k rows of k symbols
   std::vector<std::uint32_t> pivot_row_; // n * k pivot->row maps
   std::vector<std::uint32_t> rank_;      // n rank counters
-  mutable std::vector<value_type> scratch_;  // ONE stripe, shared swarm-wide
+  ShardPlan plan_;                       // owner of the stripe <-> node map
+  mutable std::vector<value_type> scratch_;  // one stripe per shard
 };
 
 /// \brief Structure-of-arrays pool of BitRankTracker state (GF(2), packed).
@@ -149,11 +175,20 @@ class BitRankStore {
         arena_(n * k * words_, 0),
         pivot_row_(n * k, linalg::kNoPivot),
         rank_(n, 0),
+        plan_(n, 1),
         scratch_(words_, 0) {}
 
-  ref_type at(graph::NodeId v) { return ref(v); }
+  ref_type at(graph::NodeId v) {
+    return ref_type(arena_.data() + static_cast<std::size_t>(v) * k_ * words_,
+                    pivot_row_.data() + static_cast<std::size_t>(v) * k_,
+                    rank_.data() + v, scratch_stripe(v), k_);
+  }
   /// Const access yields a view without insert() (see DenseRankStore::at).
-  const_ref_type at(graph::NodeId v) const { return const_ref_type(ref(v)); }
+  const_ref_type at(graph::NodeId v) const {
+    return const_ref_type(arena_.data() + static_cast<std::size_t>(v) * k_ * words_,
+                          pivot_row_.data() + static_cast<std::size_t>(v) * k_,
+                          rank_.data() + v, scratch_stripe(v), k_);
+  }
 
   void reset(graph::NodeId v) {
     const std::size_t base = static_cast<std::size_t>(v) * k_;
@@ -165,6 +200,12 @@ class BitRankStore {
     rank_[v] = 0;
   }
 
+  /// One scratch stripe per shard; see DenseRankStore::configure_shards.
+  void configure_shards(std::size_t shards) {
+    plan_ = ShardPlan(n_, shards);
+    scratch_.assign(plan_.shard_count() * words_, 0);
+  }
+
   std::size_t memory_bytes() const noexcept {
     return arena_.size() * sizeof(std::uint64_t) +
            pivot_row_.size() * sizeof(std::uint32_t) +
@@ -173,11 +214,8 @@ class BitRankStore {
   }
 
  private:
-  ref_type ref(graph::NodeId v) const noexcept {
-    auto* self = const_cast<BitRankStore*>(this);
-    return ref_type(self->arena_.data() + static_cast<std::size_t>(v) * k_ * words_,
-                    self->pivot_row_.data() + static_cast<std::size_t>(v) * k_,
-                    self->rank_.data() + v, self->scratch_.data(), k_);
+  std::uint64_t* scratch_stripe(graph::NodeId v) const noexcept {
+    return scratch_.data() + plan_.shard_of(v) * words_;
   }
 
   std::size_t n_;
@@ -186,6 +224,7 @@ class BitRankStore {
   std::vector<std::uint64_t> arena_;
   std::vector<std::uint32_t> pivot_row_;
   std::vector<std::uint32_t> rank_;
+  ShardPlan plan_;
   mutable std::vector<std::uint64_t> scratch_;
 };
 

@@ -24,14 +24,25 @@
 /// just statistically indistinguishable -- which is what lets the large-n
 /// sweep (bench/large_n_sweep) extrapolate with a clear conscience.
 ///
+/// View types: each tracker comes in three shapes sharing one state layout
+/// (row arena, pivot map, rank counter, scratch stripe):
+///   * <X>RankTrackerConstRef  -- read-only view over const state pointers;
+///     owns the whole query/combination surface.  The scratch pointer stays
+///     writable (contains() eliminates into it), but scratch is pure
+///     per-call workspace, never part of the logical decoder state.
+///   * <X>RankTrackerRef       -- mutable view adding insert(); every
+///     read-only operation delegates to its cview().  No const_cast
+///     anywhere: mutability flows from the non-const accessors that built
+///     the view.
+///   * <X>RankTracker          -- owning drop-in decoder wrapping one node's
+///     state behind ref()/cref().
+///
 /// Layout: rows are k (or words_for(k)) symbols with no padding -- rank rows
 /// are short, so 32-byte stride padding would dominate the footprint it is
 /// supposed to optimise; the SIMD kernels handle unaligned spans with a
-/// scalar tail.  Both trackers are standalone drop-in decoder types (they
-/// satisfy linalg::RlncDecoder and the RlncSwarm interface); for swarm-scale
-/// storage with one arena for *all* nodes and shared scratch, see
-/// core/swarm_storage.hpp, whose pooled stores reuse the \c *Ref view types
-/// defined here.
+/// scalar tail.  For swarm-scale storage with one arena for *all* nodes and
+/// per-shard scratch stripes, see core/swarm_storage.hpp, whose pooled
+/// stores reuse these view types.
 #pragma once
 
 #include <bit>
@@ -55,34 +66,35 @@ namespace ag::linalg {
 inline constexpr std::uint32_t kNoPivot = 0xFFFFFFFFu;
 
 // ---------------------------------------------------------------------------
-// DenseRankTrackerRef: non-owning view over externally held tracker state.
+// DenseRankTrackerConstRef: read-only view, the shared query/combination
+// implementation.
 // ---------------------------------------------------------------------------
 
-/// \brief Non-owning rank-only decoder view over a generic field F.
+/// \brief Read-only rank-only decoder view over a generic field F.
 ///
-/// Operates on externally owned memory: a row arena of k stripes of k
-/// symbols, a pivot map, a rank counter, and a scratch stripe (which may be
-/// shared across many trackers -- insert() is the only user and trackers are
-/// touched one at a time within a simulation run).  DenseRankTracker wraps
-/// one node's worth of this state; core/swarm_storage.hpp's pooled store
-/// hands out refs into one structure-of-arrays block for a whole swarm.
+/// Holds const pointers into externally owned state plus one writable
+/// scratch stripe of k symbols (clobbered by contains(); see file comment).
+/// This is what a const pooled store hands out: the full query and
+/// combination surface without insert(), so const access to a swarm cannot
+/// mutate decoder state behind the completion tracking (mirroring how a
+/// const VectorNodeStore yields `const D&`).
 template <gf::GaloisField F>
-class DenseRankTrackerRef {
+class DenseRankTrackerConstRef {
  public:
   using field_type = F;
   using value_type = typename F::value_type;
   /// Same wire packet as DenseDecoder<F> so protocols interoperate; the
-  /// payload member is accepted on insert but ignored, and emitted empty.
+  /// payload member is accepted where present but ignored, and emitted empty.
   using packet_type = DensePacket<F>;
 
   /// \param arena k stripes of k symbols (only the first *rank rows are live)
   /// \param pivot_row k entries mapping pivot column -> row index (kNoPivot)
-  /// \param rank live row count, updated by insert()
-  /// \param scratch one stripe of k symbols, clobbered by insert()/contains()
+  /// \param rank live row count
+  /// \param scratch one stripe of k symbols, clobbered by contains()
   /// \param k number of unknown messages
-  DenseRankTrackerRef(value_type* arena, std::uint32_t* pivot_row,
-                      std::uint32_t* rank, value_type* scratch,
-                      std::size_t k) noexcept
+  DenseRankTrackerConstRef(const value_type* arena, const std::uint32_t* pivot_row,
+                           const std::uint32_t* rank, value_type* scratch,
+                           std::size_t k) noexcept
       : arena_(arena), pivot_row_(pivot_row), rank_(rank), scratch_(scratch), k_(k) {}
 
   std::size_t message_count() const noexcept { return k_; }
@@ -115,49 +127,6 @@ class DenseRankTrackerRef {
     p.coeffs.assign(k_, F::zero);
     p.coeffs[i] = F::one;
     return p;
-  }
-
-  /// Inserts a packet's coefficient row; returns true iff it increased the
-  /// rank (the packet was helpful).  Identical verdict to DenseDecoder<F>
-  /// fed the same sequence; draws no randomness.  pkt.payload is ignored.
-  bool insert(const packet_type& pkt) {
-    assert(pkt.coeffs.size() == k_);
-    value_type* row = scratch_;
-    std::copy(pkt.coeffs.begin(), pkt.coeffs.end(), row);
-
-    // Fused forward elimination + pivot search (the DenseDecoder algorithm
-    // restricted to the coefficient prefix; see dense_decoder.hpp for the
-    // RREF prefix-invariant argument).
-    std::size_t pivot = npos;
-    for (std::size_t p = 0; p < k_; ++p) {
-      const value_type c = row[p];
-      if (c == F::zero) continue;
-      const std::uint32_t ri = pivot_row_[p];
-      if (ri == kNoPivot) {
-        if (pivot == npos) pivot = p;
-        continue;
-      }
-      gf::axpy<F>(std::span<value_type>(row + p, k_ - p),
-                  std::span<const value_type>(row_ptr(ri) + p, k_ - p), c);
-    }
-    if (pivot == npos) return false;  // linearly dependent: not helpful
-
-    const value_type piv_inv = F::inv(row[pivot]);
-    gf::scale<F>(std::span<value_type>(row + pivot, k_ - pivot), piv_inv);
-
-    for (std::uint32_t i = 0; i < *rank_; ++i) {
-      value_type* r = row_ptr(i);
-      const value_type c = r[pivot];
-      if (c != F::zero) {
-        gf::axpy<F>(std::span<value_type>(r + pivot, k_ - pivot),
-                    std::span<const value_type>(row + pivot, k_ - pivot), c);
-      }
-    }
-
-    pivot_row_[pivot] = *rank_;
-    std::copy(row, row + k_, row_ptr(*rank_));
-    ++*rank_;
-    return true;
   }
 
   /// RLNC transmit rule; stream-identical to DenseDecoder (one
@@ -266,6 +235,148 @@ class DenseRankTrackerRef {
   }
 
  private:
+  const value_type* row_ptr(std::size_t i) const noexcept { return arena_ + i * k_; }
+
+  const value_type* arena_;
+  const std::uint32_t* pivot_row_;
+  const std::uint32_t* rank_;
+  value_type* scratch_;
+  std::size_t k_;
+};
+
+// ---------------------------------------------------------------------------
+// DenseRankTrackerRef: mutable view adding insert().
+// ---------------------------------------------------------------------------
+
+/// \brief Non-owning mutable rank-only decoder view over a generic field F.
+///
+/// Operates on externally owned memory: a row arena of k stripes of k
+/// symbols, a pivot map, a rank counter, and a scratch stripe (clobbered by
+/// insert()/contains(); the pooled stores hand each shard its own stripe so
+/// concurrent shards never share one).  DenseRankTracker wraps one node's
+/// worth of this state; core/swarm_storage.hpp's pooled store hands out refs
+/// into one structure-of-arrays block for a whole swarm.  Every read-only
+/// operation delegates to cview().
+template <gf::GaloisField F>
+class DenseRankTrackerRef {
+ public:
+  using field_type = F;
+  using value_type = typename F::value_type;
+  using packet_type = DensePacket<F>;
+  using const_view_type = DenseRankTrackerConstRef<F>;
+
+  /// \param arena k stripes of k symbols (only the first *rank rows are live)
+  /// \param pivot_row k entries mapping pivot column -> row index (kNoPivot)
+  /// \param rank live row count, updated by insert()
+  /// \param scratch one stripe of k symbols, clobbered by insert()/contains()
+  /// \param k number of unknown messages
+  DenseRankTrackerRef(value_type* arena, std::uint32_t* pivot_row,
+                      std::uint32_t* rank, value_type* scratch,
+                      std::size_t k) noexcept
+      : arena_(arena), pivot_row_(pivot_row), rank_(rank), scratch_(scratch), k_(k) {}
+
+  /// The read-only view over the same state (same scratch stripe).
+  const_view_type cview() const noexcept {
+    return const_view_type(arena_, pivot_row_, rank_, scratch_, k_);
+  }
+
+  std::size_t message_count() const noexcept { return k_; }
+  std::size_t payload_length() const noexcept { return 0; }
+  std::size_t rank() const noexcept { return *rank_; }
+  bool full_rank() const noexcept { return *rank_ == k_; }
+  std::size_t stride() const noexcept { return k_; }
+
+  static value_type payload_symbol_from(std::uint64_t w) noexcept {
+    return const_view_type::payload_symbol_from(w);
+  }
+  static double symbol_bits() noexcept { return const_view_type::symbol_bits(); }
+  static double packet_bits(std::size_t k, std::size_t payload_len) noexcept {
+    return const_view_type::packet_bits(k, payload_len);
+  }
+
+  packet_type unit_packet(std::size_t i, std::span<const value_type> p = {}) const {
+    return cview().unit_packet(i, p);
+  }
+
+  /// Inserts a packet's coefficient row; returns true iff it increased the
+  /// rank (the packet was helpful).  Identical verdict to DenseDecoder<F>
+  /// fed the same sequence; draws no randomness.  pkt.payload is ignored.
+  bool insert(const packet_type& pkt) {
+    assert(pkt.coeffs.size() == k_);
+    value_type* row = scratch_;
+    std::copy(pkt.coeffs.begin(), pkt.coeffs.end(), row);
+
+    // Fused forward elimination + pivot search (the DenseDecoder algorithm
+    // restricted to the coefficient prefix; see dense_decoder.hpp for the
+    // RREF prefix-invariant argument).
+    std::size_t pivot = npos;
+    for (std::size_t p = 0; p < k_; ++p) {
+      const value_type c = row[p];
+      if (c == F::zero) continue;
+      const std::uint32_t ri = pivot_row_[p];
+      if (ri == kNoPivot) {
+        if (pivot == npos) pivot = p;
+        continue;
+      }
+      gf::axpy<F>(std::span<value_type>(row + p, k_ - p),
+                  std::span<const value_type>(row_ptr(ri) + p, k_ - p), c);
+    }
+    if (pivot == npos) return false;  // linearly dependent: not helpful
+
+    const value_type piv_inv = F::inv(row[pivot]);
+    gf::scale<F>(std::span<value_type>(row + pivot, k_ - pivot), piv_inv);
+
+    for (std::uint32_t i = 0; i < *rank_; ++i) {
+      value_type* r = row_ptr(i);
+      const value_type c = r[pivot];
+      if (c != F::zero) {
+        gf::axpy<F>(std::span<value_type>(r + pivot, k_ - pivot),
+                    std::span<const value_type>(row + pivot, k_ - pivot), c);
+      }
+    }
+
+    pivot_row_[pivot] = *rank_;
+    std::copy(row, row + k_, row_ptr(*rank_));
+    ++*rank_;
+    return true;
+  }
+
+  template <typename URBG>
+  bool random_combination_into(URBG& rng, packet_type& out) const {
+    return cview().random_combination_into(rng, out);
+  }
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng) const {
+    return cview().random_combination(rng);
+  }
+  template <typename URBG>
+  bool random_combination_into(URBG& rng, double density, packet_type& out) const {
+    return cview().random_combination_into(rng, density, out);
+  }
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng, double density) const {
+    return cview().random_combination(rng, density);
+  }
+  template <typename URBG>
+  bool random_stored_row_into(URBG& rng, packet_type& out) const {
+    return cview().random_stored_row_into(rng, out);
+  }
+  template <typename URBG>
+  std::optional<packet_type> random_stored_row(URBG& rng) const {
+    return cview().random_stored_row(rng);
+  }
+
+  bool contains(std::span<const value_type> coeffs) const { return cview().contains(coeffs); }
+  template <typename Other>
+  bool is_helpful_node(const Other& other) const { return cview().is_helpful_node(other); }
+  std::span<const value_type> stored_coeff_row(std::size_t i) const {
+    return cview().stored_coeff_row(i);
+  }
+  std::span<const value_type> decoded_message(std::size_t i) const {
+    return cview().decoded_message(i);
+  }
+
+ private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   value_type* row_ptr(std::size_t i) const noexcept { return arena_ + i * k_; }
@@ -275,78 +386,6 @@ class DenseRankTrackerRef {
   std::uint32_t* rank_;
   value_type* scratch_;
   std::size_t k_;
-};
-
-/// \brief Read-only view over pooled DenseRankTracker state.
-///
-/// What a const pooled store hands out: the query and combination surface of
-/// DenseRankTrackerRef without insert(), so const access to a swarm cannot
-/// mutate decoder state behind the completion tracking (mirroring how a
-/// const VectorNodeStore yields `const D&`).
-template <gf::GaloisField F>
-class DenseRankTrackerConstRef {
- public:
-  using field_type = F;
-  using value_type = typename F::value_type;
-  using packet_type = DensePacket<F>;
-
-  explicit DenseRankTrackerConstRef(DenseRankTrackerRef<F> ref) noexcept : ref_(ref) {}
-
-  std::size_t message_count() const noexcept { return ref_.message_count(); }
-  std::size_t payload_length() const noexcept { return ref_.payload_length(); }
-  std::size_t rank() const noexcept { return ref_.rank(); }
-  bool full_rank() const noexcept { return ref_.full_rank(); }
-  std::size_t stride() const noexcept { return ref_.stride(); }
-
-  static value_type payload_symbol_from(std::uint64_t w) noexcept {
-    return DenseRankTrackerRef<F>::payload_symbol_from(w);
-  }
-  static double symbol_bits() noexcept { return DenseRankTrackerRef<F>::symbol_bits(); }
-  static double packet_bits(std::size_t k, std::size_t payload_len) noexcept {
-    return DenseRankTrackerRef<F>::packet_bits(k, payload_len);
-  }
-
-  packet_type unit_packet(std::size_t i, std::span<const value_type> p = {}) const {
-    return ref_.unit_packet(i, p);
-  }
-
-  template <typename URBG>
-  bool random_combination_into(URBG& rng, packet_type& out) const {
-    return ref_.random_combination_into(rng, out);
-  }
-  template <typename URBG>
-  std::optional<packet_type> random_combination(URBG& rng) const {
-    return ref_.random_combination(rng);
-  }
-  template <typename URBG>
-  bool random_combination_into(URBG& rng, double density, packet_type& out) const {
-    return ref_.random_combination_into(rng, density, out);
-  }
-  template <typename URBG>
-  std::optional<packet_type> random_combination(URBG& rng, double density) const {
-    return ref_.random_combination(rng, density);
-  }
-  template <typename URBG>
-  bool random_stored_row_into(URBG& rng, packet_type& out) const {
-    return ref_.random_stored_row_into(rng, out);
-  }
-  template <typename URBG>
-  std::optional<packet_type> random_stored_row(URBG& rng) const {
-    return ref_.random_stored_row(rng);
-  }
-
-  bool contains(std::span<const value_type> coeffs) const { return ref_.contains(coeffs); }
-  template <typename Other>
-  bool is_helpful_node(const Other& other) const { return ref_.is_helpful_node(other); }
-  std::span<const value_type> stored_coeff_row(std::size_t i) const {
-    return ref_.stored_coeff_row(i);
-  }
-  std::span<const value_type> decoded_message(std::size_t i) const {
-    return ref_.decoded_message(i);
-  }
-
- private:
-  DenseRankTrackerRef<F> ref_;
 };
 
 /// \brief Owning rank-only decoder over F: a drop-in decoder type.
@@ -363,6 +402,7 @@ class DenseRankTracker {
   using value_type = typename F::value_type;
   using packet_type = DensePacket<F>;
   using ref_type = DenseRankTrackerRef<F>;
+  using const_ref_type = DenseRankTrackerConstRef<F>;
 
   explicit DenseRankTracker(std::size_t k, std::size_t /*payload_len*/ = 0)
       : k_(k), arena_(k * k, F::zero), scratch_(k, F::zero),
@@ -383,58 +423,62 @@ class DenseRankTracker {
   }
 
   packet_type unit_packet(std::size_t i, std::span<const value_type> payload = {}) const {
-    return ref().unit_packet(i, payload);
+    return cref().unit_packet(i, payload);
   }
   bool insert(const packet_type& pkt) { return ref().insert(pkt); }
 
   template <typename URBG>
   bool random_combination_into(URBG& rng, packet_type& out) const {
-    return ref().random_combination_into(rng, out);
+    return cref().random_combination_into(rng, out);
   }
   template <typename URBG>
   std::optional<packet_type> random_combination(URBG& rng) const {
-    return ref().random_combination(rng);
+    return cref().random_combination(rng);
   }
   template <typename URBG>
   bool random_combination_into(URBG& rng, double density, packet_type& out) const {
-    return ref().random_combination_into(rng, density, out);
+    return cref().random_combination_into(rng, density, out);
   }
   template <typename URBG>
   std::optional<packet_type> random_combination(URBG& rng, double density) const {
-    return ref().random_combination(rng, density);
+    return cref().random_combination(rng, density);
   }
   template <typename URBG>
   bool random_stored_row_into(URBG& rng, packet_type& out) const {
-    return ref().random_stored_row_into(rng, out);
+    return cref().random_stored_row_into(rng, out);
   }
   template <typename URBG>
   std::optional<packet_type> random_stored_row(URBG& rng) const {
-    return ref().random_stored_row(rng);
+    return cref().random_stored_row(rng);
   }
 
-  bool contains(std::span<const value_type> coeffs) const { return ref().contains(coeffs); }
+  bool contains(std::span<const value_type> coeffs) const { return cref().contains(coeffs); }
   template <typename Other>
-  bool is_helpful_node(const Other& other) const { return ref().is_helpful_node(other); }
+  bool is_helpful_node(const Other& other) const { return cref().is_helpful_node(other); }
   std::span<const value_type> stored_coeff_row(std::size_t i) const {
-    return ref().stored_coeff_row(i);
+    return cref().stored_coeff_row(i);
   }
   std::span<const value_type> decoded_message(std::size_t i) const {
-    return ref().decoded_message(i);
+    return cref().decoded_message(i);
   }
 
  private:
-  // The ref is rebuilt per call: vector data pointers are stable between
+  // The views are rebuilt per call: vector data pointers are stable between
   // calls but not across moves of *this, so caching one would be a bug.
-  ref_type ref() const noexcept {
-    auto* self = const_cast<DenseRankTracker*>(this);
-    return ref_type(self->arena_.data(), self->pivot_row_.data(), &self->rank_,
-                    self->scratch_.data(), k_);
+  // Mutability flows from the accessor: ref() is non-const because insert()
+  // mutates, cref() is const and only hands out the scratch stripe (pure
+  // per-call workspace, hence the `mutable` on scratch_ alone).
+  ref_type ref() noexcept {
+    return ref_type(arena_.data(), pivot_row_.data(), &rank_, scratch_.data(), k_);
+  }
+  const_ref_type cref() const noexcept {
+    return const_ref_type(arena_.data(), pivot_row_.data(), &rank_, scratch_.data(), k_);
   }
 
   std::size_t k_;
-  mutable std::uint32_t rank_ = 0;  // mutated only by insert() via ref()
+  std::uint32_t rank_ = 0;
   std::vector<value_type> arena_;
-  mutable std::vector<value_type> scratch_;
+  mutable std::vector<value_type> scratch_;  // clobbered by const contains()
   std::vector<std::uint32_t> pivot_row_;
 };
 
@@ -442,18 +486,15 @@ class DenseRankTracker {
 // Bit-packed GF(2) specialisation.
 // ---------------------------------------------------------------------------
 
-/// \brief Non-owning bit-packed GF(2) rank tracker view.
-///
-/// The large-n workhorse: a k = 32 tracker is one 64-bit word per row.
-/// Same external-memory design as DenseRankTrackerRef; word layout and
-/// elimination mirror BitDecoder restricted to the coefficient words.
-class BitRankTrackerRef {
+/// \brief Read-only bit-packed GF(2) rank tracker view (no insert(); see
+/// DenseRankTrackerConstRef for the rationale).
+class BitRankTrackerConstRef {
  public:
   using packet_type = BitPacket;
 
-  BitRankTrackerRef(std::uint64_t* arena, std::uint32_t* pivot_row,
-                    std::uint32_t* rank, std::uint64_t* scratch,
-                    std::size_t k) noexcept
+  BitRankTrackerConstRef(const std::uint64_t* arena, const std::uint32_t* pivot_row,
+                         const std::uint32_t* rank, std::uint64_t* scratch,
+                         std::size_t k) noexcept
       : arena_(arena), pivot_row_(pivot_row), rank_(rank), scratch_(scratch),
         k_(k), words_(BitDecoder::words_for(k)) {}
 
@@ -475,48 +516,6 @@ class BitRankTrackerRef {
     p.coeffs.assign(words_, 0);
     p.coeffs[i / 64] = std::uint64_t{1} << (i % 64);
     return p;
-  }
-
-  /// Helpfulness verdict identical to BitDecoder's; payload ignored.
-  bool insert(const packet_type& pkt) {
-    assert(pkt.coeffs.size() == words_);
-    std::uint64_t* row = scratch_;
-    std::copy(pkt.coeffs.begin(), pkt.coeffs.end(), row);
-
-    std::size_t pivot = npos;
-    for (std::size_t w = 0; w < words_; ++w) {
-      std::uint64_t skip = 0;
-      while (true) {
-        const std::uint64_t active = row[w] & ~skip;
-        if (active == 0) break;
-        const auto bit = static_cast<std::size_t>(std::countr_zero(active));
-        const std::size_t col = w * 64 + bit;
-        const std::uint32_t ri = pivot_row_[col];
-        if (ri == kNoPivot) {
-          if (pivot == npos) pivot = col;
-          skip |= std::uint64_t{1} << bit;
-        } else {
-          gf::xor_words(std::span<std::uint64_t>(row + w, words_ - w),
-                        std::span<const std::uint64_t>(row_ptr(ri) + w, words_ - w));
-        }
-      }
-    }
-    if (pivot == npos) return false;
-
-    const std::size_t pw = pivot / 64;
-    const std::uint64_t pm = std::uint64_t{1} << (pivot % 64);
-    for (std::uint32_t i = 0; i < *rank_; ++i) {
-      std::uint64_t* r = row_ptr(i);
-      if (r[pw] & pm) {
-        gf::xor_words(std::span<std::uint64_t>(r + pw, words_ - pw),
-                      std::span<const std::uint64_t>(row + pw, words_ - pw));
-      }
-    }
-
-    pivot_row_[pivot] = *rank_;
-    std::copy(row, row + words_, row_ptr(*rank_));
-    ++*rank_;
-    return true;
   }
 
   /// Uniform GF(2) combination; bit-batching identical to BitDecoder
@@ -624,6 +623,134 @@ class BitRankTrackerRef {
   }
 
  private:
+  const std::uint64_t* row_ptr(std::size_t i) const noexcept { return arena_ + i * words_; }
+
+  const std::uint64_t* arena_;
+  const std::uint32_t* pivot_row_;
+  const std::uint32_t* rank_;
+  std::uint64_t* scratch_;
+  std::size_t k_;
+  std::size_t words_;
+};
+
+/// \brief Non-owning mutable bit-packed GF(2) rank tracker view.
+///
+/// The large-n workhorse: a k = 32 tracker is one 64-bit word per row.
+/// Same external-memory design as DenseRankTrackerRef; word layout and
+/// elimination mirror BitDecoder restricted to the coefficient words.
+/// Read-only operations delegate to cview().
+class BitRankTrackerRef {
+ public:
+  using packet_type = BitPacket;
+  using const_view_type = BitRankTrackerConstRef;
+
+  BitRankTrackerRef(std::uint64_t* arena, std::uint32_t* pivot_row,
+                    std::uint32_t* rank, std::uint64_t* scratch,
+                    std::size_t k) noexcept
+      : arena_(arena), pivot_row_(pivot_row), rank_(rank), scratch_(scratch),
+        k_(k), words_(BitDecoder::words_for(k)) {}
+
+  /// The read-only view over the same state (same scratch stripe).
+  const_view_type cview() const noexcept {
+    return const_view_type(arena_, pivot_row_, rank_, scratch_, k_);
+  }
+
+  std::size_t message_count() const noexcept { return k_; }
+  std::size_t payload_length() const noexcept { return 0; }
+  std::size_t rank() const noexcept { return *rank_; }
+  bool full_rank() const noexcept { return *rank_ == k_; }
+  std::size_t stride() const noexcept { return words_; }
+
+  static std::uint64_t payload_symbol_from(std::uint64_t w) noexcept { return w; }
+  static double symbol_bits() noexcept { return BitRankTrackerConstRef::symbol_bits(); }
+  static double packet_bits(std::size_t k, std::size_t payload_words) noexcept {
+    return BitRankTrackerConstRef::packet_bits(k, payload_words);
+  }
+
+  packet_type unit_packet(std::size_t i, std::span<const std::uint64_t> p = {}) const {
+    return cview().unit_packet(i, p);
+  }
+
+  /// Helpfulness verdict identical to BitDecoder's; payload ignored.
+  bool insert(const packet_type& pkt) {
+    assert(pkt.coeffs.size() == words_);
+    std::uint64_t* row = scratch_;
+    std::copy(pkt.coeffs.begin(), pkt.coeffs.end(), row);
+
+    std::size_t pivot = npos;
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t skip = 0;
+      while (true) {
+        const std::uint64_t active = row[w] & ~skip;
+        if (active == 0) break;
+        const auto bit = static_cast<std::size_t>(std::countr_zero(active));
+        const std::size_t col = w * 64 + bit;
+        const std::uint32_t ri = pivot_row_[col];
+        if (ri == kNoPivot) {
+          if (pivot == npos) pivot = col;
+          skip |= std::uint64_t{1} << bit;
+        } else {
+          gf::xor_words(std::span<std::uint64_t>(row + w, words_ - w),
+                        std::span<const std::uint64_t>(row_ptr(ri) + w, words_ - w));
+        }
+      }
+    }
+    if (pivot == npos) return false;
+
+    const std::size_t pw = pivot / 64;
+    const std::uint64_t pm = std::uint64_t{1} << (pivot % 64);
+    for (std::uint32_t i = 0; i < *rank_; ++i) {
+      std::uint64_t* r = row_ptr(i);
+      if (r[pw] & pm) {
+        gf::xor_words(std::span<std::uint64_t>(r + pw, words_ - pw),
+                      std::span<const std::uint64_t>(row + pw, words_ - pw));
+      }
+    }
+
+    pivot_row_[pivot] = *rank_;
+    std::copy(row, row + words_, row_ptr(*rank_));
+    ++*rank_;
+    return true;
+  }
+
+  template <typename URBG>
+  bool random_combination_into(URBG& rng, packet_type& out) const {
+    return cview().random_combination_into(rng, out);
+  }
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng) const {
+    return cview().random_combination(rng);
+  }
+  template <typename URBG>
+  bool random_combination_into(URBG& rng, double density, packet_type& out) const {
+    return cview().random_combination_into(rng, density, out);
+  }
+  template <typename URBG>
+  std::optional<packet_type> random_combination(URBG& rng, double density) const {
+    return cview().random_combination(rng, density);
+  }
+  template <typename URBG>
+  bool random_stored_row_into(URBG& rng, packet_type& out) const {
+    return cview().random_stored_row_into(rng, out);
+  }
+  template <typename URBG>
+  std::optional<packet_type> random_stored_row(URBG& rng) const {
+    return cview().random_stored_row(rng);
+  }
+
+  bool contains(std::span<const std::uint64_t> coeffs) const {
+    return cview().contains(coeffs);
+  }
+  template <typename Other>
+  bool is_helpful_node(const Other& other) const { return cview().is_helpful_node(other); }
+  std::span<const std::uint64_t> stored_coeff_row(std::size_t i) const {
+    return cview().stored_coeff_row(i);
+  }
+  std::span<const std::uint64_t> decoded_message(std::size_t i) const {
+    return cview().decoded_message(i);
+  }
+
+ private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   std::uint64_t* row_ptr(std::size_t i) const noexcept { return arena_ + i * words_; }
@@ -636,77 +763,13 @@ class BitRankTrackerRef {
   std::size_t words_;
 };
 
-/// \brief Read-only view over pooled BitRankTracker state (no insert();
-/// see DenseRankTrackerConstRef for the rationale).
-class BitRankTrackerConstRef {
- public:
-  using packet_type = BitPacket;
-
-  explicit BitRankTrackerConstRef(BitRankTrackerRef ref) noexcept : ref_(ref) {}
-
-  std::size_t message_count() const noexcept { return ref_.message_count(); }
-  std::size_t payload_length() const noexcept { return ref_.payload_length(); }
-  std::size_t rank() const noexcept { return ref_.rank(); }
-  bool full_rank() const noexcept { return ref_.full_rank(); }
-  std::size_t stride() const noexcept { return ref_.stride(); }
-
-  static std::uint64_t payload_symbol_from(std::uint64_t w) noexcept { return w; }
-  static double symbol_bits() noexcept { return BitRankTrackerRef::symbol_bits(); }
-  static double packet_bits(std::size_t k, std::size_t payload_words) noexcept {
-    return BitRankTrackerRef::packet_bits(k, payload_words);
-  }
-
-  packet_type unit_packet(std::size_t i, std::span<const std::uint64_t> p = {}) const {
-    return ref_.unit_packet(i, p);
-  }
-
-  template <typename URBG>
-  bool random_combination_into(URBG& rng, packet_type& out) const {
-    return ref_.random_combination_into(rng, out);
-  }
-  template <typename URBG>
-  std::optional<packet_type> random_combination(URBG& rng) const {
-    return ref_.random_combination(rng);
-  }
-  template <typename URBG>
-  bool random_combination_into(URBG& rng, double density, packet_type& out) const {
-    return ref_.random_combination_into(rng, density, out);
-  }
-  template <typename URBG>
-  std::optional<packet_type> random_combination(URBG& rng, double density) const {
-    return ref_.random_combination(rng, density);
-  }
-  template <typename URBG>
-  bool random_stored_row_into(URBG& rng, packet_type& out) const {
-    return ref_.random_stored_row_into(rng, out);
-  }
-  template <typename URBG>
-  std::optional<packet_type> random_stored_row(URBG& rng) const {
-    return ref_.random_stored_row(rng);
-  }
-
-  bool contains(std::span<const std::uint64_t> coeffs) const {
-    return ref_.contains(coeffs);
-  }
-  template <typename Other>
-  bool is_helpful_node(const Other& other) const { return ref_.is_helpful_node(other); }
-  std::span<const std::uint64_t> stored_coeff_row(std::size_t i) const {
-    return ref_.stored_coeff_row(i);
-  }
-  std::span<const std::uint64_t> decoded_message(std::size_t i) const {
-    return ref_.decoded_message(i);
-  }
-
- private:
-  BitRankTrackerRef ref_;
-};
-
 /// \brief Owning bit-packed GF(2) rank tracker: drop-in for BitDecoder in
 /// any swarm or protocol, at k * words_for(k) words per node.
 class BitRankTracker {
  public:
   using packet_type = BitPacket;
   using ref_type = BitRankTrackerRef;
+  using const_ref_type = BitRankTrackerConstRef;
 
   explicit BitRankTracker(std::size_t k, std::size_t /*payload_words*/ = 0)
       : k_(k), words_(BitDecoder::words_for(k)), arena_(k * words_, 0),
@@ -729,59 +792,64 @@ class BitRankTracker {
   }
 
   packet_type unit_packet(std::size_t i, std::span<const std::uint64_t> payload = {}) const {
-    return ref().unit_packet(i, payload);
+    return cref().unit_packet(i, payload);
   }
   bool insert(const packet_type& pkt) { return ref().insert(pkt); }
 
   template <typename URBG>
   bool random_combination_into(URBG& rng, packet_type& out) const {
-    return ref().random_combination_into(rng, out);
+    return cref().random_combination_into(rng, out);
   }
   template <typename URBG>
   std::optional<packet_type> random_combination(URBG& rng) const {
-    return ref().random_combination(rng);
+    return cref().random_combination(rng);
   }
   template <typename URBG>
   bool random_combination_into(URBG& rng, double density, packet_type& out) const {
-    return ref().random_combination_into(rng, density, out);
+    return cref().random_combination_into(rng, density, out);
   }
   template <typename URBG>
   std::optional<packet_type> random_combination(URBG& rng, double density) const {
-    return ref().random_combination(rng, density);
+    return cref().random_combination(rng, density);
   }
   template <typename URBG>
   bool random_stored_row_into(URBG& rng, packet_type& out) const {
-    return ref().random_stored_row_into(rng, out);
+    return cref().random_stored_row_into(rng, out);
   }
   template <typename URBG>
   std::optional<packet_type> random_stored_row(URBG& rng) const {
-    return ref().random_stored_row(rng);
+    return cref().random_stored_row(rng);
   }
 
   bool contains(std::span<const std::uint64_t> coeffs) const {
-    return ref().contains(coeffs);
+    return cref().contains(coeffs);
   }
   template <typename Other>
-  bool is_helpful_node(const Other& other) const { return ref().is_helpful_node(other); }
+  bool is_helpful_node(const Other& other) const { return cref().is_helpful_node(other); }
   std::span<const std::uint64_t> stored_coeff_row(std::size_t i) const {
-    return ref().stored_coeff_row(i);
+    return cref().stored_coeff_row(i);
   }
   std::span<const std::uint64_t> decoded_message(std::size_t i) const {
-    return ref().decoded_message(i);
+    return cref().decoded_message(i);
   }
 
  private:
-  ref_type ref() const noexcept {
-    auto* self = const_cast<BitRankTracker*>(this);
-    return ref_type(self->arena_.data(), self->pivot_row_.data(), &self->rank_,
-                    self->scratch_.data(), k_);
+  // Views are rebuilt per call (data pointers are not stable across moves of
+  // *this).  ref() is non-const because insert() mutates; cref() is const
+  // and only hands out the scratch stripe, which is pure per-call workspace
+  // (hence the `mutable` on scratch_ alone).
+  ref_type ref() noexcept {
+    return ref_type(arena_.data(), pivot_row_.data(), &rank_, scratch_.data(), k_);
+  }
+  const_ref_type cref() const noexcept {
+    return const_ref_type(arena_.data(), pivot_row_.data(), &rank_, scratch_.data(), k_);
   }
 
   std::size_t k_;
   std::size_t words_;
-  mutable std::uint32_t rank_ = 0;
+  std::uint32_t rank_ = 0;
   std::vector<std::uint64_t> arena_;
-  mutable std::vector<std::uint64_t> scratch_;
+  mutable std::vector<std::uint64_t> scratch_;  // clobbered by const contains()
   std::vector<std::uint32_t> pivot_row_;
 };
 
