@@ -151,15 +151,9 @@ std::size_t seeds() {
 }
 
 std::size_t threads() {
-  if (const char* s = std::getenv("AG_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(s, &end, 10);
-    if (end != s) {  // parsed a number; anything else falls through to serial
-      if (v > 0) return static_cast<std::size_t>(v);
-      if (v == 0) return ag::core::resolve_threads(0);  // AG_THREADS=0: all cores
-    }
-  }
-  return 1;  // default: serial, same numbers either way
+  // Shared checked parser: garbage or "0" aborts the bench instead of
+  // silently running at a different parallelism than the table header claims.
+  return ag::core::positive_env("AG_THREADS").value_or(1);  // default: serial
 }
 
 std::size_t peak_rss_bytes() {

@@ -6,8 +6,9 @@
 // fixed-width table of results, and a VERDICT line summarising whether the
 // measured shape matches the paper.  Sweep sizes scale with AG_BENCH_SCALE
 // (default 1; >1 for deeper sweeps), seed counts with AG_BENCH_SEEDS
-// (default 8), and worker threads with AG_THREADS (default 1 = serial;
-// 0 = all hardware threads).  Thread count never changes the numbers: the
+// (default 8), and worker threads with AG_THREADS (default 1 = serial; must
+// be a positive integer, anything else aborts).  Thread count never changes
+// the numbers: the
 // parallel runner is byte-identical to the serial one for the same
 // (seed, runs).
 //
@@ -33,7 +34,7 @@ namespace agbench {
 // Environment-controlled knobs.
 double scale();        // AG_BENCH_SCALE, default 1.0
 std::size_t seeds();   // AG_BENCH_SEEDS, default 8
-std::size_t threads();  // AG_THREADS, default 1 (serial); 0 = hardware
+std::size_t threads();  // AG_THREADS, default 1 (serial); invalid aborts
 
 // High-water-mark resident set size of this process in bytes (Linux
 // getrusage ru_maxrss; 0 where unsupported).  Monotone within a process, so

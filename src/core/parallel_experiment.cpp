@@ -1,21 +1,44 @@
 #include "core/parallel_experiment.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace ag::core {
 
+std::optional<std::size_t> positive_env(const char* name) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  // Reject loudly instead of the old atol behaviour, which silently turned
+  // garbage, "0", and overflow into "use hardware_concurrency" -- an env
+  // typo (AG_THREADS=1O) would defeat the serial==parallel diff the docs
+  // recommend without any visible sign.
+  if (errno == ERANGE || end == s || *end != '\0' || v <= 0) {
+    throw std::runtime_error(std::string(name) + ": invalid worker count '" + s +
+                             "' (expected a positive integer)");
+  }
+  return static_cast<std::size_t>(v);
+}
+
 std::size_t resolve_threads(std::size_t threads) {
   if (threads != 0) return threads;
-  if (const char* s = std::getenv("AG_THREADS")) {
-    const long v = std::atol(s);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
+  if (const auto v = positive_env("AG_THREADS")) return *v;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+std::size_t resolve_shards(std::size_t shards) {
+  if (shards != 0) return shards;
+  if (const auto v = positive_env("AG_SHARDS")) return *v;
+  return 1;
 }
 
 void parallel_for_index(std::size_t count, std::size_t threads,

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -27,12 +28,28 @@
 
 namespace ag::core {
 
+// Reads environment variable `name` as a worker/shard count.  Unset ->
+// nullopt; anything that is not a positive base-10 integer that fits in a
+// long (garbage, trailing junk, "0", negative, overflow) throws
+// std::runtime_error naming the variable -- a knob typo must fail the run,
+// not silently change the parallelism.
+std::optional<std::size_t> positive_env(const char* name);
+
 // Worker count resolution for `threads`:
-//   0  -> the AG_THREADS environment variable if set and positive, else
+//   0  -> the AG_THREADS environment variable if set (must be a positive
+//         integer; anything else throws -- see positive_env), else
 //         std::thread::hardware_concurrency().
 //   n  -> exactly n.
 // The result is additionally clamped to the number of runs by the runner.
 std::size_t resolve_threads(std::size_t threads);
+
+// Same resolution for the intra-run shard count (core/sharded_round.hpp):
+//   0  -> the AG_SHARDS environment variable if set (validated like
+//         AG_THREADS), else 1 (serial).  Defaults to serial rather than
+//         hardware_concurrency because sharding changes which engine runs a
+//         protocol; opting in should be explicit.
+//   n  -> exactly n.
+std::size_t resolve_shards(std::size_t shards);
 
 // Executes body(0) .. body(count - 1), each exactly once, across `threads`
 // std::jthread workers pulling indices from a shared atomic counter.

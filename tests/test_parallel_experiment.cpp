@@ -134,4 +134,41 @@ TEST(ParallelExperimentTest, ResolveThreadsPrecedence) {
   EXPECT_GE(resolve_threads(0), 1u);
 }
 
+// RAII env pin so a throwing EXPECT can't leak a bad value into later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(ParallelExperimentTest, ResolveThreadsRejectsInvalidEnvLoudly) {
+  // The old atol parse silently mapped every one of these to
+  // hardware_concurrency; a typo changed the parallelism without a trace.
+  for (const char* bad : {"garbage", "0", "-2", "3x", "1O", "",
+                          "99999999999999999999999999"}) {
+    ScopedEnv env("AG_THREADS", bad);
+    EXPECT_THROW(resolve_threads(0), std::runtime_error) << "value: '" << bad << "'";
+  }
+  // An explicit count never consults the environment.
+  ScopedEnv env("AG_THREADS", "garbage");
+  EXPECT_EQ(resolve_threads(2), 2u);
+}
+
+TEST(ParallelExperimentTest, ResolveShardsPrecedence) {
+  EXPECT_EQ(resolve_shards(6), 6u);
+  {
+    ScopedEnv env("AG_SHARDS", "4");
+    EXPECT_EQ(resolve_shards(0), 4u);
+  }
+  // Unlike threads, shards default to 1 (serial) -- sharding is opt-in.
+  EXPECT_EQ(resolve_shards(0), 1u);
+  ScopedEnv env("AG_SHARDS", "2units");
+  EXPECT_THROW(resolve_shards(0), std::runtime_error);
+}
+
 }  // namespace
