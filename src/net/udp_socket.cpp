@@ -125,7 +125,14 @@ bool UdpSocketSet::recv_one(Datagram& meta, std::vector<std::uint8_t>& buf) {
         meta.src = from_sockaddr(sa);
         return true;
       }
-      ready_.pop_front();  // EAGAIN or error: this socket is dry
+      // EAGAIN/EWOULDBLOCK is the normal "socket is dry" signal.  Anything
+      // else is a real failure -- e.g. a queued ECONNREFUSED from an ICMP
+      // port-unreachable (Linux reports it on connected UDP sockets) --
+      // which the old code silently conflated with dryness.  Count it so
+      // transports can surface dead peers, then move past the socket; the
+      // next epoll refill re-reports it if data sits behind the error.
+      if (errno != EAGAIN && errno != EWOULDBLOCK) ++recv_errors_;
+      ready_.pop_front();
     }
     if (attempts == 0 && epoll_fd_ >= 0) {
       epoll_event evs[64];

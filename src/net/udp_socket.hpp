@@ -61,6 +61,12 @@ class UdpSocketSet {
   /// the datagram length).  False when nothing is readable right now.
   bool recv_one(Datagram& meta, std::vector<std::uint8_t>& buf);
 
+  /// Count of hard recvfrom failures seen by recv_one -- anything other
+  /// than EAGAIN/EWOULDBLOCK, e.g. a queued ECONNREFUSED from an ICMP
+  /// port-unreachable bounced off a dead peer.  "Socket is dry" is not an
+  /// error and is not counted.  Monotone over the set's lifetime.
+  std::uint64_t recv_errors() const noexcept { return recv_errors_; }
+
   /// Blocks up to timeout_ms for any socket to become readable.  Returns
   /// true if at least one is.  timeout_ms = 0 polls.
   bool wait_readable(int timeout_ms);
@@ -79,6 +85,7 @@ class UdpSocketSet {
 
   std::vector<int> fds_;
   int epoll_fd_ = -1;
+  std::uint64_t recv_errors_ = 0;
   std::deque<std::size_t> ready_;  // socket indices epoll reported readable
 };
 

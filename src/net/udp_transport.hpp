@@ -102,6 +102,9 @@ class UdpTransport final : public sim::Transport<Msg> {
       ++stats_.messages_delivered;
       deliver(from, to, rx_pkt_);
     }
+    // The socket set counts hard recvfrom failures (ECONNREFUSED etc.)
+    // across every drain; mirror the running total into the stats surface.
+    stats_.recv_errors = socks_.recv_errors();
   }
 
   const sim::TransportStats& stats() const noexcept override { return stats_; }

@@ -60,6 +60,9 @@ struct TransportStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t decode_failures = 0;  ///< malformed frames rejected (wire transports)
+  std::uint64_t recv_errors = 0;      ///< hard receive failures, e.g. ECONNREFUSED
+                                      ///< bounced off a dead peer (wire transports;
+                                      ///< distinct from "nothing readable")
 };
 
 /// Non-owning reference to a delivery callback `void(from, to, const Msg&)`.

@@ -6,6 +6,12 @@
 #include <cstdint>
 #include <vector>
 
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#endif
+
 #include "net/swarm_runner.hpp"
 #include "net/udp_socket.hpp"
 #include "net/udp_transport.hpp"
@@ -73,9 +79,55 @@ TEST(UdpTransport, LoopbackSendDrainDeliversVerbatim) {
   EXPECT_EQ(s.messages_sent, 1u);
   EXPECT_EQ(s.messages_delivered, 1u);
   EXPECT_EQ(s.decode_failures, 0u);
+  EXPECT_EQ(s.recv_errors, 0u) << "clean loopback exchange must not count errors";
   EXPECT_GT(s.bytes_sent, net::kHeaderBytes);
   EXPECT_EQ(s.bytes_sent, s.bytes_received);
 }
+
+#if defined(__linux__)
+// A hard receive failure must be counted, not conflated with "socket is
+// dry".  Deterministic recipe: connect() the UDP socket to a port that was
+// just closed, send into it, and the kernel queues the ICMP
+// port-unreachable as ECONNREFUSED on the next recvfrom (connected UDP
+// sockets report bounced sends; Linux loopback generates the ICMP
+// synchronously).
+TEST(UdpSocketSet, HardRecvErrorsCountedNotSilentlyDry) {
+  REQUIRE_SOCKETS();
+  net::UdpSocketSet socks;
+  ASSERT_TRUE(socks.open_loopback(1));
+  EXPECT_EQ(socks.recv_errors(), 0u);
+
+  // Reserve a loopback port, then free it so nothing listens there.
+  std::uint16_t dead_port = 0;
+  {
+    net::UdpSocketSet tmp;
+    ASSERT_TRUE(tmp.open_loopback(1));
+    dead_port = tmp.port(0);
+  }
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = htonl(net::kLoopbackAddr);
+  dst.sin_port = htons(dead_port);
+  ASSERT_EQ(::connect(socks.fd(0), reinterpret_cast<const sockaddr*>(&dst),
+                      sizeof(dst)),
+            0);
+  const std::uint8_t probe[4] = {1, 2, 3, 4};
+  ASSERT_EQ(::send(socks.fd(0), probe, sizeof(probe), 0),
+            static_cast<ssize_t>(sizeof(probe)));
+
+  // The pending error makes the socket "readable" (EPOLLERR); recv_one must
+  // consume it as an error, deliver nothing, and count it.
+  net::UdpSocketSet::Datagram meta;
+  std::vector<std::uint8_t> buf;
+  bool got = false;
+  for (int i = 0; i < 50 && socks.recv_errors() == 0; ++i) {
+    socks.wait_readable(100);
+    got = socks.recv_one(meta, buf);
+  }
+  EXPECT_FALSE(got);
+  EXPECT_GE(socks.recv_errors(), 1u);
+}
+#endif  // __linux__
 
 // Hostile datagrams: garbage, shape mismatch, and unknown senders are all
 // counted and dropped; none reach the protocol and nothing crashes.
