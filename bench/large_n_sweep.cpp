@@ -35,11 +35,13 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/decoders.hpp"
 #include "core/dissemination.hpp"
+#include "core/sharded_round.hpp"
 #include "core/swarm_storage.hpp"
 #include "core/uniform_ag.hpp"
 #include "graph/csr_graph.hpp"
@@ -256,5 +258,62 @@ int main() {
                agbench::fmt_int(scaled(100000)) + ", k=32) stayed under 8 GiB peak RSS";
   }
   agbench::verdict(rss_ok, rss_note);
-  return (all_exact && rss_ok) ? 0 : 1;
+
+  // -------------------------------------------------------------------------
+  // Part 3: intra-run sharding (core/sharded_round.hpp) on the acceptance
+  // configuration -- complete graph at the top tier, k = 32, GF(2) rank-only
+  // pools.  Two checks: the shard-count invariance (stopping rounds at 8
+  // shards == at 1 shard, a hard failure whenever violated) and wall-clock
+  // speedup.  The >= 3x speedup gate only arms on a full-scale run with >= 8
+  // hardware threads; smoke scales and small machines still measure and
+  // report, so the invariance check never goes untested.
+  // -------------------------------------------------------------------------
+  bool shard_rounds_ok = true;
+  bool shard_speed_ok = true;
+  if (family_enabled("complete")) {
+    const std::size_t sn = scaled(100000);
+    const std::size_t sk = std::min<std::size_t>(32, sn / 2);
+    sim::Rng prng(kSeed);
+    const auto spl = core::uniform_distinct(sk, sn, prng);
+    agbench::record_graph("sharded complete(implicit) n=" + std::to_string(sn));
+
+    auto timed = [&](std::size_t shards, double& secs) {
+      core::ShardedUniformAG<linalg::BitRankTracker, core::BitRankStore> proto(
+          std::make_unique<sim::CompleteTopology>(sn), spl, sync_cfg(), kSeed,
+          0, shards);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto res = proto.run(200000);
+      secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                 .count();
+      return res;
+    };
+    double serial_secs = 0, sharded_secs = 0;
+    const auto serial = timed(1, serial_secs);
+    const auto sharded = timed(8, sharded_secs);
+    const double speedup = sharded_secs > 0 ? serial_secs / sharded_secs : 0;
+
+    agbench::Table st({"shards", "rounds", "seconds", "speedup"});
+    st.add_row({"1", agbench::fmt_int(serial.rounds),
+                agbench::fmt(serial_secs, 2), "1.0x"});
+    st.add_row({"8", agbench::fmt_int(sharded.rounds),
+                agbench::fmt(sharded_secs, 2), agbench::fmt(speedup, 2) + "x"});
+    st.print();
+
+    shard_rounds_ok = serial.completed && sharded.completed &&
+                      serial.rounds == sharded.rounds;
+    agbench::verdict(shard_rounds_ok,
+                     "sharded engine determinism: stopping rounds at 8 shards "
+                     "== at 1 shard (complete n=" + agbench::fmt_int(sn) +
+                     ", k=" + agbench::fmt_int(sk) + ")");
+    const std::size_t hw = std::thread::hardware_concurrency();
+    const bool gate_arms = sn >= 100000 && hw >= 8;
+    shard_speed_ok = !gate_arms || speedup >= 3.0;
+    agbench::verdict(shard_speed_ok,
+                     gate_arms
+                         ? "sharded speedup >= 3x at 8 shards on the full-scale "
+                           "acceptance configuration"
+                         : "sharded speedup measured (gate not armed: needs "
+                           "full scale and >= 8 hardware threads)");
+  }
+  return (all_exact && rss_ok && shard_rounds_ok && shard_speed_ok) ? 0 : 1;
 }

@@ -35,6 +35,7 @@
 
 #include "core/decoders.hpp"
 #include "core/dissemination.hpp"
+#include "core/sharded_round.hpp"
 #include "core/stp_policies.hpp"
 #include "core/stp_protocol.hpp"
 #include "core/swarm_storage.hpp"
@@ -76,6 +77,8 @@ struct Options {
   bool gf2 = false;        // uniform-ag over the bit-packed GF(2) decoder
   bool rank_only = false;  // uniform-ag over the pooled rank-only tracker
   bool implicit_topo = false;  // complete/barbell served without edge storage
+  std::size_t shards = 0;   // --shards: intra-run sharded engine (0 = AG_SHARDS)
+  bool shards_set = false;  // sharding switches engines, so it must be explicit
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -87,13 +90,15 @@ struct Options {
                "             [--placement uniform|all-to-all|source]\n"
                "             [--source NODE] [--payload SYMBOLS] [--drop P]\n"
                "             [--runs R] [--seed S] [--max-rounds M] [--dot FILE]\n"
-               "             [--gf2] [--rank-only] [--implicit]\n"
+               "             [--gf2] [--rank-only] [--implicit] [--shards S]\n"
                "families : path cycle complete grid torus bintree star hypercube\n"
                "           barbell clique-chain lollipop er random-regular ring-chords\n"
                "protocols: uniform-ag tag-brr tag-unif tag-is uncoded brr is\n"
                "scaling  : --gf2 (bit-packed decoder), --rank-only (no payload arena,\n"
                "           pooled storage; rounds == --gf2 exactly), --implicit\n"
-               "           (complete/barbell without edge storage; uniform-ag only)\n");
+               "           (complete/barbell without edge storage; uniform-ag only),\n"
+               "           --shards S (intra-run sharded engine, uniform-ag sync only;\n"
+               "           rounds are identical for every S, S=0 reads AG_SHARDS)\n");
   std::exit(2);
 }
 
@@ -166,6 +171,26 @@ RunRecord run_uniform_ag(const Options& o, std::unique_ptr<sim::TopologyView> to
   return rec;
 }
 
+// One uniform-ag run on the intra-run sharded engine (core/sharded_round.hpp).
+// Stopping rounds are identical for every shard count, so --shards changes
+// wall-clock only; note the engine is its own stream reference (shards=1),
+// not stream-compatible with the classic serial engine above.
+template <typename D, typename Store = core::VectorNodeStore<D>>
+RunRecord run_sharded_uniform_ag(const Options& o,
+                                 std::unique_ptr<sim::TopologyView> topo,
+                                 std::size_t n, sim::Rng& rng,
+                                 const core::AgConfig& cfg, std::uint64_t run) {
+  const auto placement = build_placement(o, n, rng);
+  core::ShardedUniformAG<D, Store> proto(std::move(topo), placement, cfg, o.seed,
+                                         run, o.shards);
+  const auto res = proto.run(o.max_rounds);
+  RunRecord rec;
+  rec.rounds = static_cast<double>(res.rounds);
+  rec.wire_mbits = proto.wire_bits() / 1e6;
+  rec.decoded = res.completed;
+  return rec;
+}
+
 Options parse(int argc, char** argv) {
   Options o;
   auto need = [&](int& i) -> const char* {
@@ -194,6 +219,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--seed") o.seed = std::stoull(need(i));
     else if (a == "--max-rounds") o.max_rounds = std::stoull(need(i));
     else if (a == "--dot") o.dot_path = need(i);
+    else if (a == "--shards") { o.shards = std::stoul(need(i)); o.shards_set = true; }
     else if (a == "--gf2") o.gf2 = true;
     else if (a == "--rank-only") o.rank_only = true;
     else if (a == "--implicit") o.implicit_topo = true;
@@ -211,6 +237,13 @@ int main(int argc, char** argv) {
     usage("--gf2/--rank-only/--implicit apply to --protocol uniform-ag only");
   }
   if (o.gf2 && o.rank_only) usage("--gf2 and --rank-only are exclusive");
+  if (o.shards_set && o.protocol != "uniform-ag") {
+    usage("--shards applies to --protocol uniform-ag only");
+  }
+  if (o.shards_set && o.time == "async") {
+    usage("--shards requires --time sync (async serialises on a global "
+          "activation order)");
+  }
   if (o.rank_only && o.payload > 0) {
     usage("--rank-only stores no payload (drop --payload); rank evolution is "
           "payload-independent, so stopping rounds are unaffected");
@@ -258,7 +291,19 @@ int main(int argc, char** argv) {
     cfg.drop_probability = o.drop;
     cfg.drop_seed = o.seed * 1000 + r;
 
-    if (o.protocol == "uniform-ag") {
+    if (o.protocol == "uniform-ag" && o.shards_set) {
+      auto topo = make_view(o, g ? &*g : nullptr);
+      if (o.rank_only) {
+        rec = run_sharded_uniform_ag<linalg::BitRankTracker, core::BitRankStore>(
+            o, std::move(topo), n, rng, cfg, r);
+      } else if (o.gf2) {
+        rec = run_sharded_uniform_ag<core::Gf2Decoder>(o, std::move(topo), n, rng,
+                                                       cfg, r);
+      } else {
+        rec = run_sharded_uniform_ag<core::Gf256Decoder>(o, std::move(topo), n,
+                                                         rng, cfg, r);
+      }
+    } else if (o.protocol == "uniform-ag") {
       auto topo = make_view(o, g ? &*g : nullptr);
       if (o.rank_only) {
         rec = run_uniform_ag<linalg::BitRankTracker, core::BitRankStore>(

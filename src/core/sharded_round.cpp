@@ -1,0 +1,102 @@
+#include "core/sharded_round.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ag::core {
+
+/// Worker-side state of the pool: a generation-counter barrier.  run() bumps
+/// the generation to release the workers and waits for the pending count to
+/// drain; workers park on the condvar between rounds.  One mutex guards
+/// everything -- the phases are coarse (whole shards), so handshake cost is
+/// noise next to the per-shard work.
+struct ShardPool::Impl {
+  std::mutex m;
+  std::condition_variable start;
+  std::condition_variable done;
+  std::uint64_t generation = 0;
+  std::size_t pending = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::exception_ptr error;
+  bool stopping = false;
+  std::vector<std::jthread> workers;  // run shards 1..S-1
+
+  void worker_loop(std::size_t shard) {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(std::size_t)>* f = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        start.wait(lock, [&] { return stopping || generation != seen; });
+        if (stopping) return;
+        seen = generation;
+        f = fn;
+      }
+      try {
+        (*f)(shard);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(m);
+        if (!error) error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(m);
+        if (--pending == 0) done.notify_one();
+      }
+    }
+  }
+};
+
+ShardPool::ShardPool(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards) {
+  if (shards_ == 1) return;  // inline mode: no threads, no handshake
+  impl_ = std::make_unique<Impl>();
+  impl_->workers.reserve(shards_ - 1);
+  for (std::size_t s = 1; s < shards_; ++s) {
+    impl_->workers.emplace_back([this, s] { impl_->worker_loop(s); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->stopping = true;
+  }
+  impl_->start.notify_all();
+  // jthread joins on destruction of impl_->workers.
+}
+
+void ShardPool::run(const std::function<void(std::size_t)>& fn) {
+  if (!impl_) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->fn = &fn;
+    impl_->pending = impl_->workers.size();
+    ++impl_->generation;
+  }
+  impl_->start.notify_all();
+  // Shard 0 runs here: the caller is a full participant, so a 2-shard run
+  // uses exactly 2 threads, not 3.
+  try {
+    fn(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    if (!impl_->error) impl_->error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(impl_->m);
+  impl_->done.wait(lock, [&] { return impl_->pending == 0; });
+  impl_->fn = nullptr;
+  if (impl_->error) {
+    std::exception_ptr e = impl_->error;
+    impl_->error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace ag::core

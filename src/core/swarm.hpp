@@ -79,6 +79,11 @@ class RlncSwarm {
   std::size_t node_count() const noexcept { return finish_round_.size(); }
   std::size_t message_count() const noexcept { return k_; }
 
+  /// Prepares the store for `shards`-way concurrent access (one scratch
+  /// stripe per shard in the pooled stores; no-op for per-node decoders).
+  /// Call before the first round; not while decoder views are live.
+  void configure_shards(std::size_t shards) { store_.configure_shards(shards); }
+
   /// Decoder access: a `const D&` under VectorNodeStore, a value-semantics
   /// view under the pooled rank stores.
   decltype(auto) node(graph::NodeId v) const { return store_.at(v); }
@@ -140,6 +145,43 @@ class RlncSwarm {
     }
     ++useless_;
     return false;
+  }
+
+  /// Per-shard receive counters for the sharded round runner: each shard
+  /// accumulates its own tally while inserting concurrently, and the runner
+  /// absorbs them at the round barrier so helpful_/useless_/complete_ stay
+  /// single-writer.
+  struct ReceiveTally {
+    std::uint64_t helpful = 0;
+    std::uint64_t useless = 0;
+    std::size_t completed = 0;  ///< nodes that reached full rank this phase
+  };
+
+  /// receive() variant that touches ONLY node-local state (to's decoder and
+  /// finish_round_[to]) plus the caller's tally -- safe to call concurrently
+  /// for nodes of different shards.  The swarm-wide counters are updated
+  /// later via absorb_tally().
+  bool receive_tallied(graph::NodeId to, const packet_type& pkt,
+                       std::uint64_t now_round, ReceiveTally& tally) {
+    decltype(auto) d = store_.at(to);
+    if (d.insert(pkt)) {
+      ++tally.helpful;
+      if (d.full_rank() && finish_round_[to] == kNotFinished) {
+        finish_round_[to] = now_round;
+        ++tally.completed;
+      }
+      return true;
+    }
+    ++tally.useless;
+    return false;
+  }
+
+  /// Folds a shard's tally into the swarm-wide counters (round barrier,
+  /// single thread).
+  void absorb_tally(const ReceiveTally& t) {
+    helpful_ += t.helpful;
+    useless_ += t.useless;
+    complete_ += t.completed;
   }
 
   /// The deterministic payload message i was created with (for

@@ -90,6 +90,22 @@ class Rng {
     return Rng(a ^ b);
   }
 
+  // Derives an independent sub-stream `stream` WITHIN one run -- the
+  // stream-derivation rule of the sharded round runner, which gives every
+  // node its own stream (stream = node id) so a run's randomness is
+  // independent of how nodes are grouped into shards.  Deliberately a
+  // different mixing chain from for_run (distinct pre-whitening constant
+  // and distinct multiply/add constants from the SplitMix64/PCG family),
+  // so for_stream(s, i) never collides with for_run(s, i) by construction.
+  // Documented in ARCHITECTURE.md's "sharded round execution" section.
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+    std::uint64_t sm = seed ^ 0x5851F42D4C957F2Dull;
+    const std::uint64_t a = detail::splitmix64(sm);
+    sm ^= stream * 0xD1342543DE82EF95ull + 0x63652362B373E1C5ull;
+    const std::uint64_t b = detail::splitmix64(sm);
+    return Rng(a ^ b);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -129,9 +129,12 @@ class CsrTopology final : public TopologyView {
 /// storage at all.  sample() maps one uniform draw over [0, n-1) onto the
 /// sorted all-but-self neighbor list -- exactly the list make_complete
 /// builds -- so runs match an explicit complete graph draw for draw.
-/// neighbors() materialises the list into a per-view scratch buffer on
-/// demand (O(n); valid until the next neighbors() call): it exists for
-/// non-hot callers like RoundRobinSelector, not for the gossip loop.
+/// neighbors() materialises the list into a thread-local scratch buffer on
+/// demand (O(n); valid until this thread's next CompleteTopology::neighbors
+/// call on ANY instance): it exists for non-hot callers like
+/// RoundRobinSelector, not for the gossip loop.  Thread-local rather than
+/// per-view so concurrent shards (core/sharded_round.hpp) can walk
+/// neighbor lists of one shared topology without racing on a buffer.
 class CompleteTopology final : public TopologyView {
  public:
   explicit CompleteTopology(std::size_t n) : n_(n) {}
@@ -140,12 +143,13 @@ class CompleteTopology final : public TopologyView {
   std::size_t degree(NodeId /*v*/) const override { return n_ - 1; }
 
   std::span<const NodeId> neighbors(NodeId v) const override {
-    scratch_.clear();
-    scratch_.reserve(n_ - 1);
+    static thread_local std::vector<NodeId> scratch;
+    scratch.clear();
+    scratch.reserve(n_ - 1);
     for (std::size_t u = 0; u < n_; ++u) {
-      if (u != v) scratch_.push_back(static_cast<NodeId>(u));
+      if (u != v) scratch.push_back(static_cast<NodeId>(u));
     }
-    return scratch_;
+    return scratch;
   }
 
   NodeId sample(NodeId v, Rng& rng) const override {
@@ -157,7 +161,6 @@ class CompleteTopology final : public TopologyView {
 
  private:
   std::size_t n_;
-  mutable std::vector<NodeId> scratch_;
 };
 
 /// (f) Implicit barbell: two cliques of floor(n/2) and ceil(n/2) nodes
@@ -178,11 +181,13 @@ class BarbellTopology final : public TopologyView {
   }
 
   std::span<const NodeId> neighbors(NodeId v) const override {
-    scratch_.clear();
+    // Thread-local like CompleteTopology::neighbors, same lifetime caveat.
+    static thread_local std::vector<NodeId> scratch;
+    scratch.clear();
     const std::size_t d = degree(v);
-    scratch_.reserve(d);
-    for (std::size_t i = 0; i < d; ++i) scratch_.push_back(nth_neighbor(v, i));
-    return scratch_;
+    scratch.reserve(d);
+    for (std::size_t i = 0; i < d; ++i) scratch.push_back(nth_neighbor(v, i));
+    return scratch;
   }
 
   NodeId sample(NodeId v, Rng& rng) const override {
@@ -211,7 +216,6 @@ class BarbellTopology final : public TopologyView {
 
   std::size_t n_;
   std::size_t left_;
-  mutable std::vector<NodeId> scratch_;
 };
 
 /// (c) Node churn: each round every alive node leaves with probability
