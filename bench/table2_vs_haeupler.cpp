@@ -11,6 +11,7 @@
 // measured column: the observed stopping time must track *our* bound's
 // n-dependence (slope 1 / 0.5 / ~0 in log-log), which is what makes the
 // improvement factors real rather than an artifact of loose analysis.
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -97,5 +98,47 @@ int main() {
   agbench::verdict(pass,
                    "measured stopping times follow k+n / k+sqrt(n) / k+log(n): our "
                    "bound is the right shape, so Table 2's improvement factors hold");
+
+  // Pinned worst case (ROADMAP item 2): PULL-only on the barbell, the
+  // direction where the bottleneck actually bites.  A PULL across the bridge
+  // only helps the puller, and only the two bridge endpoints can pull across
+  // it, so information crosses at most one rank unit per round in each
+  // direction -- EXCHANGE gets the reverse rank unit for free.  Pinned shape:
+  // PULL is never faster than EXCHANGE on any barbell, and the gap does not
+  // shrink as n grows.
+  const std::size_t bar_max = std::max<std::size_t>(16, static_cast<std::size_t>(64 * sc));
+  agbench::Table bar({"graph", "direction", "n", "k", "measured(rounds)",
+                      "pull/exchange"});
+  bool pull_pinned = true;
+  std::vector<double> ratios;
+  for (std::size_t n = 16; n <= bar_max; n *= 2) {
+    const auto g = graph::make_barbell(n);
+    double by_dir[2] = {0.0, 0.0};
+    for (int d = 0; d < 2; ++d) {
+      const auto dir = d == 0 ? sim::Direction::Pull : sim::Direction::Exchange;
+      const auto rounds = agbench::stopping_rounds(
+          [&](sim::Rng& rng) {
+            const auto placement = core::uniform_distinct(k, g.node_count(), rng);
+            core::AgConfig cfg;
+            cfg.direction = dir;
+            return core::UniformAG<core::Gf2Decoder>(g, placement, cfg);
+          },
+          agbench::seeds(), 900 + n, 10000000);
+      by_dir[d] = agbench::mean(rounds);
+      bar.add_row({"barbell", std::string(sim::to_string(dir)), agbench::fmt_int(n),
+                   agbench::fmt_int(k), agbench::fmt(by_dir[d]),
+                   d == 0 ? "-" : agbench::fmt(by_dir[0] / by_dir[1], 2)});
+    }
+    pull_pinned = pull_pinned && by_dir[0] >= by_dir[1];
+    ratios.push_back(by_dir[0] / by_dir[1]);
+  }
+  std::printf("\n");
+  bar.print();
+  if (ratios.size() >= 2) {
+    pull_pinned = pull_pinned && ratios.back() >= ratios.front() * 0.8;
+  }
+  agbench::verdict(pull_pinned,
+                   "PULL-only barbell: pulls cross the bridge one-way, so PULL "
+                   "never beats EXCHANGE and the gap persists as n grows");
   return 0;
 }

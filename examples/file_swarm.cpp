@@ -17,6 +17,16 @@
 //     completion bitmap -- until all nodes decode the file.
 //       file_swarm swarm [--n 16] [--k 32] [--payload 32] [--procs 4]
 //                        [--seed 7] [--timeout-ms 60000]
+//
+//   stream                A multi-process STREAMING swarm on loopback UDP:
+//     the source injects an unbounded-style message stream coded in
+//     generations (src/coding/) with a bounded in-flight window; frames
+//     carry the generation id in the wire-v2 header and termination is
+//     gossiped as per-node delivery watermarks (net::run_stream_swarm).
+//       file_swarm stream [--n 8] [--gen 16] [--window 4]
+//                         [--policy sequential|round_robin|rarest_first]
+//                         [--payload 32] [--messages 96] [--rate 1]
+//                         [--procs 4] [--seed 7] [--timeout-ms 60000]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -124,6 +134,55 @@ bool parse_swarm_args(int argc, char** argv, SwarmArgs& a) {
   return a.n >= 2 && a.k >= 1 && a.procs >= 1 && a.procs <= a.n;
 }
 
+struct StreamArgs {
+  std::size_t n = 8;
+  std::size_t gen = 16;     // messages per generation
+  std::size_t window = 4;   // generations in flight
+  std::string policy = "sequential";
+  std::size_t payload = 32;
+  std::size_t messages = 96;
+  std::size_t rate = 1;     // messages injected per tick at the source
+  std::size_t procs = 4;
+  std::uint64_t seed = 7;
+  int timeout_ms = 60000;
+};
+
+bool parse_stream_args(int argc, char** argv, StreamArgs& a) {
+  for (int i = 0; i < argc; i += 2) {
+    const std::string key = argv[i];
+    if (i + 1 >= argc) return false;
+    const char* val = argv[i + 1];
+    if (key == "--n") a.n = std::strtoull(val, nullptr, 10);
+    else if (key == "--gen") a.gen = std::strtoull(val, nullptr, 10);
+    else if (key == "--window") a.window = std::strtoull(val, nullptr, 10);
+    else if (key == "--policy") a.policy = val;
+    else if (key == "--payload") a.payload = std::strtoull(val, nullptr, 10);
+    else if (key == "--messages") a.messages = std::strtoull(val, nullptr, 10);
+    else if (key == "--rate") a.rate = std::strtoull(val, nullptr, 10);
+    else if (key == "--procs") a.procs = std::strtoull(val, nullptr, 10);
+    else if (key == "--seed") a.seed = std::strtoull(val, nullptr, 10);
+    else if (key == "--timeout-ms") a.timeout_ms = std::atoi(val);
+    else return false;
+  }
+  ag::coding::GenPolicy pol;
+  return a.n >= 2 && a.gen >= 1 && a.window >= 1 && a.rate >= 1 &&
+         a.procs >= 1 && a.procs <= a.n && ag::coding::parse_policy(a.policy, pol);
+}
+
+// The satellite every transport-backed mode shares: the full final
+// TransportStats per worker, so packet loss and malformed-frame rejection
+// are visible in the e2e logs, not just the pass/fail verdict.
+[[maybe_unused]] void print_transport_stats(std::size_t worker,
+                                            const ag::sim::TransportStats& t) {
+  std::printf("worker %zu stats: %llu delivered, %llu dropped, "
+              "%llu decode failures, %llu recv errors\n",
+              worker,
+              static_cast<unsigned long long>(t.messages_delivered),
+              static_cast<unsigned long long>(t.messages_dropped),
+              static_cast<unsigned long long>(t.decode_failures),
+              static_cast<unsigned long long>(t.recv_errors));
+}
+
 #if defined(__linux__)
 
 // One worker's life: adopt its nodes' inherited sockets, run the swarm to
@@ -154,12 +213,10 @@ bool parse_swarm_args(int argc, char** argv, SwarmArgs& a) {
   cfg.seed = a.seed;
   cfg.timeout_ms = a.timeout_ms;
   const net::SwarmReport rep = net::run_swarm(transport, cfg);
-  std::printf("worker %zu (%zu nodes): %s in %llu ticks, %llu frames rx, "
-              "%llu decode failures\n",
-              worker, mine.size(), rep.ok() ? "complete+verified" : "FAILED",
-              static_cast<unsigned long long>(rep.ticks),
-              static_cast<unsigned long long>(rep.transport.messages_delivered),
-              static_cast<unsigned long long>(rep.transport.decode_failures));
+  std::printf("worker %zu (%zu nodes): %s in %llu ticks\n", worker, mine.size(),
+              rep.ok() ? "complete+verified" : "FAILED",
+              static_cast<unsigned long long>(rep.ticks));
+  print_transport_stats(worker, rep.transport);
   std::fflush(stdout);
   _exit(rep.ok() ? 0 : 1);
 }
@@ -210,10 +267,106 @@ int run_udp_swarm(const SwarmArgs& a) {
   return ok ? 0 : 1;
 }
 
+// Streaming worker: same socket-adoption dance, but the transport is built
+// with k = generation size and the driver is the generation-windowed
+// run_stream_swarm.
+[[noreturn]] void stream_worker_main(ag::net::UdpSocketSet& parent_set,
+                                     const ag::net::EndpointTable& table,
+                                     const StreamArgs& a, std::size_t worker) {
+  using namespace ag;
+  std::vector<net::NodeId> mine;
+  std::vector<int> fds;
+  for (std::size_t v = 0; v < a.n; ++v) {
+    if (v % a.procs == worker) {
+      mine.push_back(static_cast<net::NodeId>(v));
+      fds.push_back(parent_set.fd(v));
+    } else {
+      ::close(parent_set.fd(v));
+    }
+  }
+  parent_set.forget_sockets();
+
+  net::UdpSocketSet socks;
+  if (!socks.adopt(fds)) _exit(2);
+  net::UdpTransport<net::Gf256Packet> transport(socks, table, mine, a.gen, a.payload);
+  net::StreamSwarmConfig cfg;
+  cfg.n = a.n;
+  cfg.stream.generation_size = a.gen;
+  cfg.stream.window = a.window;
+  if (!coding::parse_policy(a.policy, cfg.stream.policy)) _exit(2);
+  cfg.stream.payload_len = a.payload;
+  cfg.stream.inject_per_round = a.rate;
+  cfg.stream.total_messages = a.messages;
+  cfg.seed = a.seed;
+  cfg.timeout_ms = a.timeout_ms;
+  const net::StreamSwarmReport rep = net::run_stream_swarm(transport, cfg);
+  std::printf("worker %zu (%zu nodes): %s in %llu ticks, %llu messages "
+              "delivered, %llu stale frames\n",
+              worker, mine.size(), rep.ok() ? "stream delivered+verified" : "FAILED",
+              static_cast<unsigned long long>(rep.ticks),
+              static_cast<unsigned long long>(rep.delivered_messages),
+              static_cast<unsigned long long>(rep.stale_packets));
+  print_transport_stats(worker, rep.transport);
+  std::fflush(stdout);
+  _exit(rep.ok() ? 0 : 1);
+}
+
+int run_udp_stream(const StreamArgs& a) {
+  using namespace ag;
+  net::UdpSocketSet all;
+  if (!all.open_loopback(a.n)) {
+    std::fprintf(stderr, "file_swarm: cannot bind %zu loopback sockets\n", a.n);
+    return 1;
+  }
+  net::EndpointTable table(a.n);
+  for (std::size_t v = 0; v < a.n; ++v) {
+    const std::uint16_t port = all.port(v);
+    if (port == 0) {
+      std::fprintf(stderr, "file_swarm: getsockname failed for node %zu\n", v);
+      return 1;
+    }
+    table.set(static_cast<net::NodeId>(v), net::Endpoint{net::kLoopbackAddr, port});
+  }
+  std::printf("udp stream: n=%zu nodes over %zu processes, %zu messages x %zu "
+              "bytes in generations of %zu (window %zu, %s), loopback ports %u..\n",
+              a.n, a.procs, a.messages, a.payload, a.gen, a.window,
+              a.policy.c_str(), table.of(0).port);
+  std::fflush(stdout);
+
+  std::vector<pid_t> kids;
+  for (std::size_t w = 0; w < a.procs; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "file_swarm: fork failed\n");
+      return 1;
+    }
+    if (pid == 0) stream_worker_main(all, table, a, w);  // never returns
+    kids.push_back(pid);
+  }
+  all.close_all();  // workers own their descriptors now
+
+  bool ok = true;
+  for (const pid_t pid : kids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid ||
+        !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      ok = false;
+    }
+  }
+  std::printf("udp stream: %s\n", ok ? "all workers delivered the stream in order"
+                                     : "FAILED");
+  return ok ? 0 : 1;
+}
+
 #else
 
 int run_udp_swarm(const SwarmArgs&) {
   std::fprintf(stderr, "file_swarm: udp swarm mode requires Linux\n");
+  return 1;
+}
+
+int run_udp_stream(const StreamArgs&) {
+  std::fprintf(stderr, "file_swarm: udp stream mode requires Linux\n");
   return 1;
 }
 
@@ -222,6 +375,21 @@ int run_udp_swarm(const SwarmArgs&) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "stream") == 0) {
+    StreamArgs s;
+    if (!parse_stream_args(argc - 2, argv + 2, s)) {
+      std::fprintf(stderr,
+                   "usage: file_swarm stream [--n N] [--gen G] [--window W]\n"
+                   "                         [--policy sequential|round_robin|"
+                   "rarest_first]\n"
+                   "                         [--payload BYTES] [--messages M]\n"
+                   "                         [--rate R] [--procs P] [--seed S]\n"
+                   "                         [--timeout-ms MS]\n");
+      return 2;
+    }
+    return run_udp_stream(s);
+  }
+
   const char* env = std::getenv("AG_TRANSPORT");
   const bool want_udp =
       (argc > 1 && std::strcmp(argv[1], "swarm") == 0) ||

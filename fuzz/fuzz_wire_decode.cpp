@@ -14,11 +14,15 @@
 //   1. decode_into never crashes, whatever the bytes (the contract of
 //      src/net/wire.hpp: malformed input is REJECTED, not fatal).
 //   2. Canonical encoding: if a frame decodes Ok, re-encoding the decoded
-//      packet reproduces the input bytes exactly.
+//      packet at the version and generation the header reported reproduces
+//      the input bytes exactly (covers both v1 and v2 frames, and every
+//      generation id value the fuzzer mutates into the v2 header).
 //   3. A decoded packet is well-shaped: coeff/payload sizes match the
 //      expectation the decoder was constructed with, and every symbol is
 //      inside its field's range (what makes it safe to feed table-driven
 //      field arithmetic downstream).
+//   4. A frame the header reports as v1 carries generation 0 -- the v1
+//      layout has no generation field to smuggle one in.
 #include <algorithm>
 #include <cstdint>
 #include <span>
@@ -38,40 +42,51 @@ using net::DecodeStatus;
 constexpr net::WireLimits kLimits{1u << 12, 1u << 12};
 
 template <typename P>
-void check_canonical_reencode(const P& pkt, std::size_t k,
+void check_canonical_reencode(const P& pkt, std::size_t k, const net::WireHeader& hdr,
                               std::span<const std::uint8_t> frame) {
   std::vector<std::uint8_t> again;
-  const std::size_t m = net::encode_into(pkt, k, again);
+  const std::size_t m = net::encode_into(pkt, k, again, hdr.generation, hdr.version);
   FUZZ_ASSERT(m == frame.size(), "re-encoded size differs");
   FUZZ_ASSERT(std::equal(again.begin(), again.end(), frame.begin()),
               "re-encoded bytes differ (non-canonical decode accepted)");
 }
 
+void check_header_invariants(const net::WireHeader& hdr) {
+  FUZZ_ASSERT(hdr.version == net::kWireVersion || hdr.version == net::kWireVersionV1,
+              "decoded version outside the accepted set");
+  FUZZ_ASSERT(hdr.version != net::kWireVersionV1 || hdr.generation == 0,
+              "v1 frame decoded with a nonzero generation");
+}
+
 void check_bit_shape(std::span<const std::uint8_t> frame, std::size_t k,
                      std::size_t len) {
   linalg::BitPacket pkt;
-  if (net::decode_into(frame, k, len, pkt, kLimits) != DecodeStatus::Ok) return;
+  net::WireHeader hdr;
+  if (net::decode_into(frame, k, len, pkt, hdr, kLimits) != DecodeStatus::Ok) return;
+  check_header_invariants(hdr);
   FUZZ_ASSERT(pkt.coeffs.size() == (k + 63) / 64, "coeff words != ceil(k/64)");
   FUZZ_ASSERT(pkt.payload.size() == len, "payload length != expectation");
   if (k % 64 != 0 && !pkt.coeffs.empty()) {
     FUZZ_ASSERT(pkt.coeffs.back() >> (k % 64) == 0,
                 "nonzero spare coefficient bits accepted");
   }
-  check_canonical_reencode(pkt, k, frame);
+  check_canonical_reencode(pkt, k, hdr, frame);
 }
 
 template <typename F>
 void check_dense_shape(std::span<const std::uint8_t> frame, std::size_t k,
                        std::size_t len) {
   linalg::DensePacket<F> pkt;
-  if (net::decode_into(frame, k, len, pkt, kLimits) != DecodeStatus::Ok) return;
+  net::WireHeader hdr;
+  if (net::decode_into(frame, k, len, pkt, hdr, kLimits) != DecodeStatus::Ok) return;
+  check_header_invariants(hdr);
   FUZZ_ASSERT(pkt.coeffs.size() == k, "coeff count != expectation");
   FUZZ_ASSERT(pkt.payload.size() == len, "payload length != expectation");
   for (const auto c : pkt.coeffs)
     FUZZ_ASSERT(static_cast<std::uint32_t>(c) < F::order, "coefficient out of field");
   for (const auto s : pkt.payload)
     FUZZ_ASSERT(static_cast<std::uint32_t>(s) < F::order, "payload symbol out of field");
-  check_canonical_reencode(pkt, k, frame);
+  check_canonical_reencode(pkt, k, hdr, frame);
 }
 
 template <typename ShapeCheck>
@@ -98,6 +113,14 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
   check_field(frame, [](auto f, std::size_t k, std::size_t n) { check_dense_shape<gf::GF65536>(f, k, n); });
 
   ag::net::ControlFrame ctl;
-  (void)ag::net::decode_control(frame, ctl, kLimits);
+  net::WireHeader chdr;
+  if (ag::net::decode_control(frame, ctl, chdr, kLimits) == DecodeStatus::Ok) {
+    check_header_invariants(chdr);
+    std::vector<std::uint8_t> again;
+    const std::size_t m = net::encode_control(ctl, again, chdr.generation, chdr.version);
+    FUZZ_ASSERT(m == frame.size(), "control re-encoded size differs");
+    FUZZ_ASSERT(std::equal(again.begin(), again.end(), frame.begin()),
+                "control re-encoded bytes differ");
+  }
   return 0;
 }

@@ -110,10 +110,30 @@ int main(int argc, char** argv) {
   net::encode_control(ctl, cf);
   emit("valid_control_empty", cf);
 
+  // --- generation-field and version-compat seeds --------------------------
+  {
+    const auto pkt = random_dense<gf::GF256>(5, 4, rng);
+    std::vector<std::uint8_t> f;
+    net::encode_into(pkt, 5, f, 0xdead00ffu);
+    emit("valid_gen_nonzero", f);
+    net::encode_into(pkt, 5, f, 0, net::kWireVersionV1);
+    emit("valid_v1_gf256", f);
+    f.push_back(0x00);
+    emit("bad_v1_trailing", f);
+    net::encode_into(random_bit(13, 2, rng), 13, f, 0, net::kWireVersionV1);
+    emit("valid_v1_gf2bit", f);
+    ctl.sender = 3;
+    ctl.data = {0xaa, 0xbb};
+    net::encode_control(ctl, f, 0, net::kWireVersionV1);
+    emit("valid_v1_control", f);
+    net::encode_control(ctl, f, 42);
+    emit("valid_gen_control", f);
+  }
+
   // --- the malformed corpus the wire tests pin ----------------------------
   const auto base = frame_of(random_dense<gf::GF256>(5, 4, rng), 5);
 
-  for (const std::size_t cut : {0u, 3u, 11u, 12u, 15u}) {
+  for (const std::size_t cut : {0u, 3u, 11u, 12u, 13u, 15u, 19u}) {
     std::snprintf(name, sizeof name, "bad_truncated_%zu", cut);
     emit(name, std::vector<std::uint8_t>(base.begin(),
                                          base.begin() + static_cast<std::ptrdiff_t>(cut)));
@@ -128,6 +148,9 @@ int main(int argc, char** argv) {
   f = base;
   f[2] = static_cast<std::uint8_t>(net::kWireVersion + 1);
   emit("bad_version", f);
+  f = base;
+  f[2] = 0;
+  emit("bad_version_zero", f);
   f = base;
   f[3] = 6;  // first unassigned field id
   emit("bad_field_unassigned", f);

@@ -55,7 +55,8 @@ LAYER_DEPS = {
     "sim": {"graph", "util"},
     "queueing": {"graph", "sim", "stats", "util"},
     "core": {"gf", "linalg", "graph", "sim", "stats", "util"},
-    "net": {"gf", "linalg", "graph", "sim", "core", "util"},
+    "coding": {"gf", "linalg", "graph", "sim", "core", "util"},
+    "net": {"gf", "linalg", "graph", "sim", "core", "coding", "util"},
 }
 
 # Layers bound by the determinism contract.  src/net is the only layer

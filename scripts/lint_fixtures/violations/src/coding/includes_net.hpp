@@ -1,0 +1,5 @@
+// ag-lint-fixture: expect(layering)
+// The coding layer sits below net: the wire codec consumes generation ids,
+// not the other way around.
+#pragma once
+#include "net/wire.hpp"

@@ -1,0 +1,9 @@
+// ag-lint-fixture: expect(no-wallclock)
+// coding is a deterministic layer: latency is measured in rounds, never in
+// wall-clock time.
+#pragma once
+#include <chrono>
+
+inline long long stream_now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,84 @@
+/// \file
+/// Generation/sliding-window coding layer: shared configuration.
+///
+/// The paper and every one-shot protocol in this repo fix the message count
+/// k up front.  Production RLNC systems instead partition an *unbounded*
+/// message stream into fixed-size generations of g messages each and only
+/// keep a bounded window of W generations in flight, so per-node decoder
+/// state is O(W * g * (g + payload)) symbols however long the stream runs.
+///
+/// This header holds the knobs every layer of the streaming stack shares:
+/// the sim driver (coding/streaming_swarm.hpp), the per-node generation
+/// selector (coding/scheduler.hpp), the UDP streaming runner
+/// (net/swarm_runner.hpp), and the bench/CLI surfaces that parse the policy
+/// names.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ag::coding {
+
+/// Which in-flight generation a node codes over at each activation.
+enum class GenPolicy : std::uint8_t {
+  Sequential = 0,  ///< oldest servable generation first (strict pipeline)
+  RoundRobin = 1,  ///< per-node cyclic cursor over the servable window
+  RarestFirst = 2, ///< max residual demand from peer-rank feedback; RNG tie-break
+};
+
+inline std::string_view to_string(GenPolicy p) noexcept {
+  switch (p) {
+    case GenPolicy::Sequential: return "sequential";
+    case GenPolicy::RoundRobin: return "round_robin";
+    case GenPolicy::RarestFirst: return "rarest_first";
+  }
+  return "?";
+}
+
+/// Accepts the canonical snake_case names (and the hyphenated spellings the
+/// CLIs print).  Returns false on anything else, leaving `out` untouched.
+inline bool parse_policy(std::string_view s, GenPolicy& out) noexcept {
+  if (s == "sequential") {
+    out = GenPolicy::Sequential;
+  } else if (s == "round_robin" || s == "round-robin") {
+    out = GenPolicy::RoundRobin;
+  } else if (s == "rarest_first" || s == "rarest-first") {
+    out = GenPolicy::RarestFirst;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Shape of one streaming run.  `generation_size` is the k of every
+/// per-generation decoder; `window` bounds how many generations may be
+/// in flight (injected but not yet delivered everywhere) at once.
+struct StreamConfig {
+  std::size_t generation_size = 16;  ///< g: messages per generation
+  std::size_t window = 4;            ///< W: max in-flight generations
+  GenPolicy policy = GenPolicy::Sequential;
+  std::size_t payload_len = 0;           ///< payload symbols per message
+  std::size_t inject_per_round = 1;      ///< source injection rate (messages/round)
+  std::uint64_t total_messages = 0;      ///< stream length M (0 = nothing to do)
+  std::uint32_t source = 0;              ///< node where the stream originates
+
+  /// rarest_first only: peer-rank feedback older than this many rounds is
+  /// treated as never-heard again.  Without expiry the min-rank table is
+  /// sticky and can livelock: once a slow node's low-rank reports age out of
+  /// circulation, every peer's residual need for the oldest generation reads
+  /// zero and all service flows to newer generations forever.  Expired
+  /// feedback returns the generation to the maximal-need tie, so the oldest
+  /// generation keeps receiving service (liveness).
+  std::uint64_t rarest_ttl = 8;
+
+  /// Number of generations the stream spans (the last one is padded up to
+  /// generation_size internally when generation_size does not divide M).
+  std::uint32_t total_generations() const noexcept {
+    if (generation_size == 0) return 0;
+    return static_cast<std::uint32_t>(
+        (total_messages + generation_size - 1) / generation_size);
+  }
+};
+
+}  // namespace ag::coding

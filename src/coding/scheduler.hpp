@@ -1,0 +1,161 @@
+/// \file
+/// GenerationScheduler: which in-flight generation does a node code over?
+///
+/// One scheduler instance serves the whole swarm: per-node state (the
+/// round-robin cursors and the rarest-first feedback table) lives in flat
+/// arrays sized n * window, so the footprint is independent of how many
+/// generations the stream ever produces.  Feedback slots are recycled as the
+/// window slides: slot(gen) = gen % window, reset by open().
+///
+/// Determinism contract (docs/ARCHITECTURE.md): pick() consumes draws from
+/// the caller's RNG stream in a fixed documented order -- sequential and
+/// round_robin consume none; rarest_first consumes exactly one uniform draw
+/// when (and only when) the maximal-need generation is tied, taken before
+/// the caller's partner draw.  Replaying a seed replays every selection.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/generation.hpp"
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace ag::coding {
+
+class GenerationScheduler {
+ public:
+  static constexpr std::uint32_t kNoGen = 0xffffffffu;
+  static constexpr std::uint32_t kNothingHeard = 0xffffffffu;
+
+  GenerationScheduler(std::size_t n, const StreamConfig& cfg)
+      : n_(n),
+        window_(cfg.window),
+        generation_size_(cfg.generation_size),
+        rarest_ttl_(cfg.rarest_ttl),
+        policy_(cfg.policy),
+        cursor_(n, 0),
+        min_heard_(n * cfg.window, kNothingHeard),
+        heard_round_(n * cfg.window, 0),
+        slot_gen_(cfg.window, kNoGen) {
+    assert(window_ > 0);
+  }
+
+  GenPolicy policy() const noexcept { return policy_; }
+
+  /// A generation entered the window: claim its slot and wipe the stale
+  /// feedback the slot's previous tenant left behind.
+  void open(std::uint32_t gen) {
+    const std::size_t s = slot(gen);
+    slot_gen_[s] = gen;
+    for (std::size_t v = 0; v < n_; ++v) min_heard_[v * window_ + s] = kNothingHeard;
+  }
+
+  /// A generation was delivered everywhere and left the window.
+  void close(std::uint32_t gen) {
+    const std::size_t s = slot(gen);
+    if (slot_gen_[s] == gen) slot_gen_[s] = kNoGen;
+  }
+
+  /// Peer-rank feedback for rarest_first: node v heard at round `round` that
+  /// some peer holds rank `peer_rank` in `gen`.  Ignored for generations
+  /// outside the window (stale frames) and under the other policies.
+  ///
+  /// Feedback expires after `rarest_ttl` rounds (see StreamConfig): a minimum
+  /// that is never refreshed ages out instead of pinning the cell forever,
+  /// which is what keeps the oldest generation live when its laggard goes
+  /// quiet.  A report matching the current minimum refreshes the stamp; a
+  /// worse report against a fresh minimum is ignored.
+  void observe(graph::NodeId v, std::uint32_t gen, std::uint32_t peer_rank,
+               std::uint64_t round) {
+    if (policy_ != GenPolicy::RarestFirst) return;
+    const std::size_t s = slot(gen);
+    if (slot_gen_[s] != gen) return;
+    const std::size_t cell = static_cast<std::size_t>(v) * window_ + s;
+    if (peer_rank <= min_heard_[cell] || expired(cell, round)) {
+      min_heard_[cell] = peer_rank;
+      heard_round_[cell] = round;
+    }
+  }
+
+  /// Picks the generation node v codes over from `gens`, the window of
+  /// generations v can actually serve (rank > 0 there), ascending and
+  /// non-empty.  See the file comment for which policies draw from `rng`.
+  std::uint32_t pick(graph::NodeId v, std::span<const std::uint32_t> gens,
+                     sim::Rng& rng, std::uint64_t round) {
+    assert(!gens.empty());
+    switch (policy_) {
+      case GenPolicy::Sequential:
+        return gens.front();
+      case GenPolicy::RoundRobin: {
+        const std::uint32_t g = gens[cursor_[v] % gens.size()];
+        ++cursor_[v];
+        return g;
+      }
+      case GenPolicy::RarestFirst:
+        break;
+    }
+    // Rarest-first: residual demand need(gen) = g - min peer rank heard for
+    // gen (nothing heard => the full g: assume rank-0 peers out there).
+    // The generation peers are furthest from decoding wins; ties break
+    // uniformly with one draw so no window position is structurally starved.
+    std::uint32_t best_need = 0;
+    std::size_t ties = 0;
+    for (const std::uint32_t gen : gens) {
+      const std::uint32_t need = need_of(v, gen, round);
+      if (ties == 0 || need > best_need) {
+        best_need = need;
+        ties = 1;
+      } else if (need == best_need) {
+        ++ties;
+      }
+    }
+    std::size_t which = 0;
+    if (ties > 1) which = rng.uniform(ties);
+    for (const std::uint32_t gen : gens) {
+      if (need_of(v, gen, round) == best_need && which-- == 0) return gen;
+    }
+    return gens.front();  // unreachable; keeps release builds total
+  }
+
+  /// Scheduler-state footprint in bytes -- independent of stream length,
+  /// which the streaming bench's bounded-memory assertion leans on.
+  std::size_t memory_bytes() const noexcept {
+    return cursor_.size() * sizeof(std::uint64_t) +
+           min_heard_.size() * sizeof(std::uint32_t) +
+           heard_round_.size() * sizeof(std::uint64_t) +
+           slot_gen_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t slot(std::uint32_t gen) const noexcept { return gen % window_; }
+
+  bool expired(std::size_t cell, std::uint64_t round) const noexcept {
+    return min_heard_[cell] != kNothingHeard &&
+           round - heard_round_[cell] > rarest_ttl_;
+  }
+
+  std::uint32_t need_of(graph::NodeId v, std::uint32_t gen,
+                        std::uint64_t round) const noexcept {
+    const std::size_t cell =
+        static_cast<std::size_t>(v) * window_ + slot(gen);
+    const auto g = static_cast<std::uint32_t>(generation_size_);
+    if (min_heard_[cell] == kNothingHeard || expired(cell, round)) return g;
+    const std::uint32_t heard = min_heard_[cell];
+    return heard >= g ? 0 : g - heard;
+  }
+
+  std::size_t n_;
+  std::size_t window_;
+  std::size_t generation_size_;
+  std::uint64_t rarest_ttl_;
+  GenPolicy policy_;
+  std::vector<std::uint64_t> cursor_;      // round_robin: per-node position
+  std::vector<std::uint32_t> min_heard_;   // rarest_first: n x window min peer rank
+  std::vector<std::uint64_t> heard_round_; // rarest_first: round of each minimum
+  std::vector<std::uint32_t> slot_gen_;    // which generation owns each slot
+};
+
+}  // namespace ag::coding

@@ -14,6 +14,7 @@
 /// owned-message index, counters -- is already flat-array (SoA) state.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -24,6 +25,10 @@
 #include "sim/rng.hpp"
 
 namespace ag::core {
+
+/// Tag for the streaming construction path: decoders start empty (nothing
+/// is placement-seeded) because the stream produces messages over time.
+struct Unseeded {};
 
 /// \tparam D     decoder type: DenseDecoder<F>, BitDecoder, or the rank-only
 ///               trackers (linalg/rank_tracker.hpp)
@@ -56,6 +61,30 @@ class RlncSwarm {
         mark_finished(static_cast<graph::NodeId>(v), 0);
       }
     }
+  }
+
+  /// Streaming construction (src/coding/): n empty k-message decoders with
+  /// nothing seeded -- there is no placement; the generation driver injects
+  /// unit equations through receive() as the stream produces messages.
+  RlncSwarm(Unseeded, std::size_t n, std::size_t k, std::size_t payload_len)
+      : k_(k),
+        payload_len_(payload_len),
+        owned_(Placement{}.owned_index(n)),
+        store_(n, k, payload_len),
+        finish_round_(n, kNotFinished) {}
+
+  /// Rewinds every node to the empty-decoder state and clears completion
+  /// tracking, WITHOUT re-seeding anything: the generation scheduler
+  /// recycles a delivered generation's swarm for the next generation id.
+  /// Under VectorNodeStore the decoder arenas keep their capacity, so the
+  /// steady-state streaming loop allocates nothing.  The helpful/useless
+  /// counters keep accumulating across generations.
+  void restart() {
+    for (std::size_t v = 0; v < finish_round_.size(); ++v) {
+      store_.reset(static_cast<graph::NodeId>(v));
+    }
+    std::fill(finish_round_.begin(), finish_round_.end(), kNotFinished);
+    complete_ = 0;
   }
 
   /// Churn semantics: a node that left the network and rejoined lost every

@@ -63,8 +63,17 @@ class VectorNodeStore {
   D& at(graph::NodeId v) { return nodes_[v]; }
   const D& at(graph::NodeId v) const { return nodes_[v]; }
 
-  /// Churn reset: node v restarts with an empty decoder.
-  void reset(graph::NodeId v) { nodes_[v] = D(k_, payload_len_); }
+  /// Churn/recycle reset: node v restarts with an empty decoder.  Decoders
+  /// exposing clear() (DenseDecoder) are recycled in place, keeping their
+  /// arena capacity -- what makes the streaming layer's decode-and-evict
+  /// pipeline allocation-free in steady state; others are reconstructed.
+  void reset(graph::NodeId v) {
+    if constexpr (requires(D& d) { d.clear(); }) {
+      nodes_[v].clear();
+    } else {
+      nodes_[v] = D(k_, payload_len_);
+    }
+  }
 
   /// No-op: every decoder object already owns its scratch, so the store is
   /// shard-safe under the contiguous-range discipline as constructed.

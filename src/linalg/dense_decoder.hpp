@@ -95,6 +95,16 @@ class DenseDecoder {
   std::size_t rank() const noexcept { return rank_; }
   bool full_rank() const noexcept { return rank_ == k_; }
 
+  /// Returns the decoder to the empty state while KEEPING the arena's
+  /// capacity: the generation scheduler (src/coding/) recycles a decoded
+  /// generation's decoder for the next generation id, so the steady-state
+  /// streaming loop allocates nothing.
+  void clear() noexcept {
+    rank_ = 0;
+    arena_.clear();
+    std::fill(pivot_row_.begin(), pivot_row_.end(), npos);
+  }
+
   /// Symbols per stored row: coefficients then payload, contiguous.
   std::size_t stride() const noexcept { return k_ + payload_len_; }
 

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "coding/generation.hpp"
 #include "gf/gf2m.hpp"
 #include "linalg/dense_decoder.hpp"
 #include "net/udp_transport.hpp"
@@ -52,5 +53,43 @@ struct SwarmReport {
 /// Runs the swarm for the nodes hosted by `transport` until cluster-wide
 /// completion or timeout.  Blocking; returns the final report.
 SwarmReport run_swarm(UdpTransport<Gf256Packet>& transport, const SwarmConfig& cfg);
+
+/// Streaming variant: the source injects `stream.total_messages` messages
+/// over time, coded in generations of `stream.generation_size` with at most
+/// `stream.window` in flight (src/coding/).  Frames carry the generation id
+/// in the wire-v2 header; termination is gossiped as per-node *watermarks*
+/// (count of generations delivered contiguously, merged by max) instead of
+/// a completion bitmap -- the cluster is done when the minimum watermark
+/// reaches the generation count.
+///
+/// Policy note: over UDP, `rarest_first` ranks generations by the LOCAL
+/// rank deficit (frames do not carry peer ranks), unlike the sim driver
+/// where true peer-rank feedback travels in-struct.  Real-socket runs are
+/// not deterministic, so the tie-break needs no RNG draw: lowest
+/// generation id wins.
+struct StreamSwarmConfig {
+  std::size_t n = 16;            ///< swarm size (node ids 0..n-1)
+  coding::StreamConfig stream;   ///< generation size / window / policy / stream length
+  std::uint64_t seed = 7;        ///< per-process RNG seed material
+  int timeout_ms = 60000;        ///< wall-clock budget before giving up
+  int grace_ticks = 32;          ///< watermark broadcasts after completion
+};
+
+struct StreamSwarmReport {
+  bool completed = false;   ///< minimum watermark reached total_generations
+  bool payload_ok = false;  ///< every locally delivered message matched the source bytes
+  std::uint64_t ticks = 0;
+  std::uint64_t delivered_messages = 0;  ///< real messages delivered at local nodes
+  std::uint64_t stale_packets = 0;       ///< frames for evicted/out-of-window generations
+  sim::TransportStats transport;         ///< final transport counters
+
+  bool ok() const noexcept { return completed && payload_ok; }
+};
+
+/// Blocking streaming driver for the nodes hosted by `transport`.  The
+/// transport must be constructed with k = stream.generation_size and
+/// payload_len = stream.payload_len.
+StreamSwarmReport run_stream_swarm(UdpTransport<Gf256Packet>& transport,
+                                   const StreamSwarmConfig& cfg);
 
 }  // namespace ag::net

@@ -107,6 +107,55 @@ class UdpTransport final : public sim::Transport<Msg> {
     stats_.recv_errors = socks_.recv_errors();
   }
 
+  /// Sends a coded frame tagged with a wire-v2 generation id.  Not part of
+  /// the sim::Transport seam -- the streaming swarm driver calls it
+  /// directly; one-shot protocols keep using send() (generation 0).
+  void send_generation(NodeId from, NodeId to, std::uint32_t generation,
+                       const Msg& msg) {
+    ++stats_.messages_sent;
+    if (!channel_.admits(from, to)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    const std::size_t len = encode_into(msg, k_, tx_buf_, generation);
+    if (send_frame(from, to, len)) stats_.bytes_sent += len;
+  }
+
+  /// drain() variant that also hands the frame's generation id to the
+  /// callback as `deliver(from, to, generation, msg)`.  Control frames are
+  /// queued on the side inbox exactly as in drain().
+  template <typename Fn>
+  void drain_generations(Fn&& deliver) {
+    UdpSocketSet::Datagram meta;
+    while (socks_.recv_one(meta, rx_buf_)) {
+      stats_.bytes_received += rx_buf_.size();
+      const NodeId to = local_nodes_[meta.socket];
+      const NodeId from = table_.node_of(meta.src);
+      if (from == kUnknownNode) {
+        ++stats_.decode_failures;
+        continue;
+      }
+      const std::span<const std::uint8_t> frame(rx_buf_);
+      WireHeader h;
+      if (read_header(frame, h) == DecodeStatus::Ok && h.field == WireField::Control) {
+        ControlFrame cf;
+        if (decode_control(frame, cf) == DecodeStatus::Ok) {
+          control_inbox_.push_back(std::move(cf));
+        } else {
+          ++stats_.decode_failures;
+        }
+        continue;
+      }
+      if (decode_into(frame, k_, payload_len_, rx_pkt_, h) != DecodeStatus::Ok) {
+        ++stats_.decode_failures;
+        continue;
+      }
+      ++stats_.messages_delivered;
+      deliver(from, to, h.generation, rx_pkt_);
+    }
+    stats_.recv_errors = socks_.recv_errors();
+  }
+
   const sim::TransportStats& stats() const noexcept override { return stats_; }
 
   void set_channel(sim::Channel ch) override { channel_ = std::move(ch); }

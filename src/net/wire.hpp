@@ -6,13 +6,24 @@
 /// ```
 ///   offset  size  field
 ///   0       2     magic        "AG" (0x41 0x47)
-///   2       1     version      kWireVersion (currently 1)
+///   2       1     version      kWireVersion (currently 2; 1 still decodes)
 ///   3       1     field id     WireField (which packet encoding follows)
 ///   4       4     k            coefficient count, u32 little-endian
 ///   8       4     payload_len  payload symbol count, u32 little-endian
-///   12      ...   coefficients (layout per field, below)
+///   12      4     generation   generation id, u32 little-endian (v2 only)
+///   12/16   ...   coefficients (layout per field, below)
 ///   ...     ...   payload      (layout per field, below)
 /// ```
+///
+/// Version 2 added the generation id for the sliding-window coding layer
+/// (`src/coding/`): a frame's coefficients are relative to one generation's
+/// message block, so the receiver must route it to that generation's
+/// decoder.  Version 1 frames (12-byte header, no generation field) still
+/// decode -- `read_header` reports them as `version == 1, generation == 0`.
+/// Canonical-encoding rule across versions: each (version, header,
+/// body) triple has exactly one byte representation, and re-encoding a
+/// decoded frame **with the version and generation the header reported**
+/// reproduces the input bytes.  Encoders default to v2.
 ///
 /// Per-field body layout (all multi-byte integers little-endian):
 ///
@@ -57,8 +68,16 @@ namespace ag::net {
 
 inline constexpr std::uint8_t kWireMagic0 = 0x41;  // 'A'
 inline constexpr std::uint8_t kWireMagic1 = 0x47;  // 'G'
-inline constexpr std::uint8_t kWireVersion = 1;
-inline constexpr std::size_t kHeaderBytes = 12;
+inline constexpr std::uint8_t kWireVersionV1 = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::size_t kHeaderBytesV1 = 12;
+inline constexpr std::size_t kHeaderBytes = 16;
+
+/// Header size for a given wire version (v1 frames have no generation
+/// field).  Callers must only pass versions read_header accepts.
+inline constexpr std::size_t header_bytes(std::uint8_t version) noexcept {
+  return version == kWireVersionV1 ? kHeaderBytesV1 : kHeaderBytes;
+}
 
 /// Which packet encoding a frame's body carries.
 enum class WireField : std::uint8_t {
@@ -76,7 +95,7 @@ enum class DecodeStatus : std::uint8_t {
   Ok = 0,
   Truncated,      ///< frame shorter than the header or the declared body
   BadMagic,       ///< first two bytes are not "AG"
-  BadVersion,     ///< version byte != kWireVersion
+  BadVersion,     ///< version byte is neither kWireVersionV1 nor kWireVersion
   BadField,       ///< unknown field id, or id != the expected packet type
   Oversized,      ///< k or payload_len exceeds WireLimits
   Mismatch,       ///< k/payload_len disagree with the receiving decoder's
@@ -100,14 +119,20 @@ struct WireHeader {
   WireField field = WireField::Control;
   std::uint32_t k = 0;
   std::uint32_t payload_len = 0;
+  std::uint32_t generation = 0;            ///< v2 only; 0 for decoded v1 frames
+  std::uint8_t version = kWireVersion;     ///< which header layout was read/written
 };
 
 /// Parses and validates magic/version/field/limits.  On Ok, `out` holds the
-/// header and the caller may trust its counts up to the limits.
+/// header (including the version it was read under and the generation id,
+/// which is 0 for v1 frames) and the caller may trust its counts up to the
+/// limits.
 DecodeStatus read_header(std::span<const std::uint8_t> frame, WireHeader& out,
                          const WireLimits& limits = kDefaultLimits) noexcept;
 
-/// Writes the 12-byte header at `dst` (must have kHeaderBytes of room).
+/// Writes the header at `dst` in the layout `h.version` selects (must have
+/// header_bytes(h.version) of room).  h.generation must be 0 when
+/// h.version == kWireVersionV1 -- v1 frames cannot carry one.
 void write_header(std::uint8_t* dst, const WireHeader& h) noexcept;
 
 namespace detail {
@@ -331,25 +356,37 @@ template <>
 struct WireCodec<linalg::DensePacket<gf::GF65536>>
     : detail::DenseCodec<gf::GF65536, WireField::Gf65536> {};
 
-/// Frame size for a (field, k, payload_len) triple of packet type P.
+/// Frame size for a (field, k, payload_len) triple of packet type P under a
+/// given wire version (v1 headers are 4 bytes shorter).
 template <typename P>
-std::size_t encoded_size(std::size_t k, std::size_t payload_len) noexcept {
-  return kHeaderBytes + WireCodec<P>::coeff_bytes(k) +
+std::size_t encoded_size(std::size_t k, std::size_t payload_len,
+                         std::uint8_t version = kWireVersion) noexcept {
+  return header_bytes(version) + WireCodec<P>::coeff_bytes(k) +
          WireCodec<P>::payload_bytes(payload_len);
 }
 
 /// Serializes `pkt` (a k-coefficient packet) into `out`, reusing its
 /// capacity.  Returns the frame size.  The payload length is taken from the
-/// packet itself (decoders always emit full-length payloads).
+/// packet itself (decoders always emit full-length payloads).  `generation`
+/// tags the frame for the sliding-window coding layer; one-shot callers
+/// leave it 0.  `version` selects the header layout -- kWireVersionV1
+/// requires generation == 0 (v1 frames have no generation field).
 template <typename P>
-std::size_t encode_into(const P& pkt, std::size_t k, std::vector<std::uint8_t>& out) {
+std::size_t encode_into(const P& pkt, std::size_t k, std::vector<std::uint8_t>& out,
+                        std::uint32_t generation = 0,
+                        std::uint8_t version = kWireVersion) {
+  assert(version == kWireVersion || generation == 0);
   const std::size_t payload_len = pkt.payload.size();
-  const std::size_t total = encoded_size<P>(k, payload_len);
+  const std::size_t total = encoded_size<P>(k, payload_len, version);
   out.resize(total);
-  write_header(out.data(), WireHeader{WireCodec<P>::field,
-                                      static_cast<std::uint32_t>(k),
-                                      static_cast<std::uint32_t>(payload_len)});
-  WireCodec<P>::put_body(pkt, k, payload_len, out.data() + kHeaderBytes);
+  WireHeader h;
+  h.field = WireCodec<P>::field;
+  h.k = static_cast<std::uint32_t>(k);
+  h.payload_len = static_cast<std::uint32_t>(payload_len);
+  h.generation = generation;
+  h.version = version;
+  write_header(out.data(), h);
+  WireCodec<P>::put_body(pkt, k, payload_len, out.data() + header_bytes(version));
   return total;
 }
 
@@ -358,20 +395,31 @@ std::size_t encode_into(const P& pkt, std::size_t k, std::vector<std::uint8_t>& 
 /// `expect_k` and header payload_len must equal `expect_payload_len`
 /// (DecodeStatus::Mismatch otherwise) -- a wire peer speaking a different
 /// generation/config must not be able to corrupt local decoder state.
+/// On Ok, `hdr` holds the parsed header; `hdr.generation` tells the caller
+/// which generation's decoder the packet belongs to (0 for v1 frames).
+template <typename P>
+DecodeStatus decode_into(std::span<const std::uint8_t> frame, std::size_t expect_k,
+                         std::size_t expect_payload_len, P& pkt, WireHeader& hdr,
+                         const WireLimits& limits = kDefaultLimits) {
+  DecodeStatus st = read_header(frame, hdr, limits);
+  if (st != DecodeStatus::Ok) return st;
+  if (hdr.field != WireCodec<P>::field) return DecodeStatus::BadField;
+  if (hdr.k != expect_k || hdr.payload_len != expect_payload_len)
+    return DecodeStatus::Mismatch;
+  const std::size_t want = encoded_size<P>(hdr.k, hdr.payload_len, hdr.version);
+  if (frame.size() < want) return DecodeStatus::Truncated;
+  if (frame.size() > want) return DecodeStatus::TrailingBytes;
+  return WireCodec<P>::get_body(frame.data() + header_bytes(hdr.version), hdr.k,
+                                hdr.payload_len, pkt);
+}
+
+/// decode_into for callers that do not care about the generation id.
 template <typename P>
 DecodeStatus decode_into(std::span<const std::uint8_t> frame, std::size_t expect_k,
                          std::size_t expect_payload_len, P& pkt,
                          const WireLimits& limits = kDefaultLimits) {
-  WireHeader h;
-  DecodeStatus st = read_header(frame, h, limits);
-  if (st != DecodeStatus::Ok) return st;
-  if (h.field != WireCodec<P>::field) return DecodeStatus::BadField;
-  if (h.k != expect_k || h.payload_len != expect_payload_len)
-    return DecodeStatus::Mismatch;
-  const std::size_t want = encoded_size<P>(h.k, h.payload_len);
-  if (frame.size() < want) return DecodeStatus::Truncated;
-  if (frame.size() > want) return DecodeStatus::TrailingBytes;
-  return WireCodec<P>::get_body(frame.data() + kHeaderBytes, h.k, h.payload_len, pkt);
+  WireHeader hdr;
+  return decode_into(frame, expect_k, expect_payload_len, pkt, hdr, limits);
 }
 
 /// Transport/driver control frame: no coefficients, a sender node id in the
@@ -382,7 +430,12 @@ struct ControlFrame {
   std::vector<std::uint8_t> data;
 };
 
-std::size_t encode_control(const ControlFrame& f, std::vector<std::uint8_t>& out);
+std::size_t encode_control(const ControlFrame& f, std::vector<std::uint8_t>& out,
+                           std::uint32_t generation = 0,
+                           std::uint8_t version = kWireVersion);
+DecodeStatus decode_control(std::span<const std::uint8_t> frame, ControlFrame& out,
+                            WireHeader& hdr,
+                            const WireLimits& limits = kDefaultLimits);
 DecodeStatus decode_control(std::span<const std::uint8_t> frame, ControlFrame& out,
                             const WireLimits& limits = kDefaultLimits);
 

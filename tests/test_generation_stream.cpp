@@ -1,0 +1,268 @@
+// The generation/sliding-window coding layer (src/coding/): scheduler unit
+// behaviour, the StreamingSwarm pipeline, and the differential property the
+// subsystem exists for -- generation-scheduled decode delivers byte-identical
+// messages to a one-shot k = G*g decode over the same injected stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "coding/scheduler.hpp"
+#include "coding/streaming_swarm.hpp"
+#include "core/decoders.hpp"
+#include "sim/engine.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+using namespace ag;
+
+coding::StreamConfig stream_config(std::size_t g, std::size_t window,
+                                   coding::GenPolicy policy,
+                                   std::uint64_t messages) {
+  coding::StreamConfig cfg;
+  cfg.generation_size = g;
+  cfg.window = window;
+  cfg.policy = policy;
+  cfg.payload_len = 8;
+  cfg.inject_per_round = 2;
+  cfg.total_messages = messages;
+  return cfg;
+}
+
+// The differential property: every message the streaming pipeline delivers,
+// at every node, is byte-identical to what a single one-shot decoder with
+// k = G*g produces from the same injected stream -- and deliveries are
+// strictly in order per node, each message exactly once.
+template <typename D>
+void check_differential(coding::GenPolicy policy, std::uint64_t messages,
+                        std::uint64_t seed) {
+  const std::size_t n = 8;
+  const auto cfg = stream_config(4, 2, policy, messages);
+
+  // One-shot reference: a k = M decoder fed the identical unit-equation
+  // stream decodes every message; its output is the ground truth.
+  using Swarm = core::RlncSwarm<D>;
+  D oneshot(messages, cfg.payload_len);
+  for (std::uint64_t m = 0; m < messages; ++m) {
+    oneshot.insert(oneshot.unit_packet(
+        static_cast<std::size_t>(m),
+        Swarm::expected_payload(static_cast<std::size_t>(m), cfg.payload_len)));
+  }
+  ASSERT_TRUE(oneshot.full_rank());
+
+  using Elem = typename core::RlncSwarm<D>::payload_elem;
+  std::vector<std::uint64_t> next_index(n, 0);  // in-order check per node
+  std::uint64_t deliveries = 0;
+  bool bytes_match = true;
+
+  coding::StreamingSwarm<D> swarm(std::make_unique<sim::CompleteTopology>(n), cfg);
+  swarm.set_delivery_hook([&](graph::NodeId v, std::uint64_t m,
+                              std::span<const Elem> payload, std::uint64_t) {
+    EXPECT_EQ(m, next_index[v]) << "out-of-order delivery at node " << v;
+    ++next_index[v];
+    ++deliveries;
+    const auto want = oneshot.decoded_message(static_cast<std::size_t>(m));
+    if (payload.size() != want.size()) {
+      bytes_match = false;
+      return;
+    }
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      if (payload[j] != want[j]) bytes_match = false;
+    }
+  });
+
+  sim::Rng rng(seed);
+  const auto res = sim::run(swarm, rng, 100000);
+  ASSERT_TRUE(res.completed);
+  EXPECT_TRUE(bytes_match) << "streamed bytes diverge from one-shot decode";
+  EXPECT_EQ(deliveries, messages * n);
+  EXPECT_EQ(swarm.delivered_messages(), messages * n);
+  EXPECT_EQ(swarm.injected_messages(), messages);
+  for (std::size_t v = 0; v < n; ++v) EXPECT_EQ(next_index[v], messages);
+}
+
+TEST(GenerationStreamDifferential, Gf256AllPolicies) {
+  for (const auto policy :
+       {coding::GenPolicy::Sequential, coding::GenPolicy::RoundRobin,
+        coding::GenPolicy::RarestFirst}) {
+    check_differential<core::Gf256Decoder>(policy, 16, 42);
+  }
+}
+
+TEST(GenerationStreamDifferential, Gf2AllPolicies) {
+  for (const auto policy :
+       {coding::GenPolicy::Sequential, coding::GenPolicy::RoundRobin,
+        coding::GenPolicy::RarestFirst}) {
+    check_differential<core::Gf2DenseDecoder>(policy, 16, 43);
+  }
+}
+
+// A ragged tail (g does not divide M) pads the last generation internally;
+// the padding must never surface in counters, the hook, or ordering.
+TEST(GenerationStreamDifferential, RaggedFinalGeneration) {
+  check_differential<core::Gf256Decoder>(coding::GenPolicy::Sequential, 14, 44);
+  check_differential<core::Gf256Decoder>(coding::GenPolicy::RarestFirst, 10, 45);
+}
+
+// A streaming run is a pure function of (seed, config): replaying the seed
+// replays the whole delivery schedule, including rarest_first's tie-break
+// draws.
+TEST(GenerationStream, DeterministicReplay) {
+  const auto cfg = stream_config(4, 2, coding::GenPolicy::RarestFirst, 24);
+  auto run_once = [&](std::uint64_t seed) {
+    coding::StreamingSwarm<core::Gf256Decoder> swarm(
+        std::make_unique<sim::CompleteTopology>(8), cfg);
+    sim::Rng rng(seed);
+    const auto res = sim::run(swarm, rng, 100000);
+    EXPECT_TRUE(res.completed);
+    return std::make_pair(swarm.rounds_elapsed(), swarm.latency_histogram());
+  };
+  const auto a = run_once(7);
+  const auto b = run_once(7);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+// Peak decoder + scheduler state depends on (n, g, W, payload) only: a 4x
+// longer stream must not grow it by a byte (the window bounds memory).
+TEST(GenerationStream, BoundedDecoderState) {
+  auto state_bytes = [&](std::uint64_t messages) {
+    const auto cfg = stream_config(4, 2, coding::GenPolicy::Sequential, messages);
+    coding::StreamingSwarm<core::Gf256Decoder> swarm(
+        std::make_unique<sim::CompleteTopology>(8), cfg);
+    sim::Rng rng(3);
+    EXPECT_TRUE(sim::run(swarm, rng, 100000).completed);
+    return swarm.decoder_state_bytes();
+  };
+  EXPECT_EQ(state_bytes(16), state_bytes(64));
+}
+
+// When the injection rate outruns the window the source stalls (and the
+// stall counter says so) but the stream still completes in order.
+TEST(GenerationStream, BackpressureStallsAreCounted) {
+  auto cfg = stream_config(2, 1, coding::GenPolicy::Sequential, 16);
+  cfg.inject_per_round = 8;
+  coding::StreamingSwarm<core::Gf256Decoder> swarm(
+      std::make_unique<sim::CompleteTopology>(8), cfg);
+  sim::Rng rng(11);
+  ASSERT_TRUE(sim::run(swarm, rng, 100000).completed);
+  EXPECT_GT(swarm.stalled_rounds(), 0u);
+  EXPECT_EQ(swarm.delivered_messages(), 16u * 8u);
+  EXPECT_EQ(swarm.stale_packets(), 0u);
+}
+
+// --- GenerationScheduler unit coverage --------------------------------------
+
+TEST(GenerationScheduler, SequentialPicksOldestWithoutDrawing) {
+  coding::StreamConfig cfg;
+  cfg.generation_size = 4;
+  cfg.window = 3;
+  cfg.policy = coding::GenPolicy::Sequential;
+  coding::GenerationScheduler sched(2, cfg);
+  sched.open(0);
+  sched.open(1);
+  const std::vector<std::uint32_t> gens = {0, 1};
+  sim::Rng rng(1), shadow(1);
+  EXPECT_EQ(sched.pick(0, gens, rng, 0), 0u);
+  // No RNG draw was consumed: the stream continues in lockstep with a twin.
+  EXPECT_EQ(rng.uniform(1000), shadow.uniform(1000));
+}
+
+TEST(GenerationScheduler, RoundRobinCyclesPerNode) {
+  coding::StreamConfig cfg;
+  cfg.generation_size = 4;
+  cfg.window = 3;
+  cfg.policy = coding::GenPolicy::RoundRobin;
+  coding::GenerationScheduler sched(2, cfg);
+  for (std::uint32_t g = 0; g < 3; ++g) sched.open(g);
+  const std::vector<std::uint32_t> gens = {0, 1, 2};
+  sim::Rng rng(1), shadow(1);
+  EXPECT_EQ(sched.pick(0, gens, rng, 0), 0u);
+  EXPECT_EQ(sched.pick(0, gens, rng, 0), 1u);
+  EXPECT_EQ(sched.pick(0, gens, rng, 0), 2u);
+  EXPECT_EQ(sched.pick(0, gens, rng, 0), 0u);
+  // Node 1's cursor is independent of node 0's.
+  EXPECT_EQ(sched.pick(1, gens, rng, 0), 0u);
+  EXPECT_EQ(rng.uniform(1000), shadow.uniform(1000));
+}
+
+TEST(GenerationScheduler, RarestFirstFollowsPeerRankFeedback) {
+  coding::StreamConfig cfg;
+  cfg.generation_size = 4;
+  cfg.window = 2;
+  cfg.policy = coding::GenPolicy::RarestFirst;
+  coding::GenerationScheduler sched(2, cfg);
+  sched.open(0);
+  sched.open(1);
+  const std::vector<std::uint32_t> gens = {0, 1};
+  // Node 0 heard a rank-3 peer in gen 0 (need 1) and a rank-1 peer in gen 1
+  // (need 3): gen 1 is rarer.  Unique maximum, so no tie-break draw.
+  sched.observe(0, 0, 3, 0);
+  sched.observe(0, 1, 1, 0);
+  sim::Rng rng(9), shadow(9);
+  EXPECT_EQ(sched.pick(0, gens, rng, 0), 1u);
+  EXPECT_EQ(rng.uniform(1000), shadow.uniform(1000));
+  // Node 1 heard nothing: both generations need the full g, tied, and the
+  // tie-break consumes exactly one draw.
+  EXPECT_NE(sched.pick(1, gens, rng, 0), coding::GenerationScheduler::kNoGen);
+  shadow.uniform(2);  // the one tie-break draw
+  EXPECT_EQ(rng.uniform(1000), shadow.uniform(1000));
+}
+
+TEST(GenerationScheduler, RarestFirstFeedbackExpires) {
+  coding::StreamConfig cfg;
+  cfg.generation_size = 4;
+  cfg.window = 2;
+  cfg.policy = coding::GenPolicy::RarestFirst;
+  cfg.rarest_ttl = 4;
+  coding::GenerationScheduler sched(1, cfg);
+  sched.open(0);
+  sched.open(1);
+  const std::vector<std::uint32_t> gens = {0, 1};
+  // Fresh feedback: a full-rank peer in gen 0 (need 0) and a rank-1 peer in
+  // gen 1 (need 3) force gen 1 with no draw...
+  sched.observe(0, 0, 4, 0);
+  sched.observe(0, 1, 1, 0);
+  sim::Rng rng(11), shadow(11);
+  EXPECT_EQ(sched.pick(0, gens, rng, 4), 1u);
+  EXPECT_EQ(rng.uniform(1000), shadow.uniform(1000));
+  // ...but past the ttl both minimums read as never-heard again: a full-g
+  // tie, one draw.  This is the liveness valve -- fossilised feedback cannot
+  // starve a still-in-window generation forever.
+  sched.pick(0, gens, rng, 5);
+  shadow.uniform(2);
+  EXPECT_EQ(rng.uniform(1000), shadow.uniform(1000));
+  // An equal-rank report re-stamps gen 1's minimum; gen 0 stays expired, so
+  // its assumed need (the full g) now uniquely wins.
+  sched.observe(0, 1, 1, 6);
+  EXPECT_EQ(sched.pick(0, gens, rng, 9), 0u);
+  EXPECT_EQ(rng.uniform(1000), shadow.uniform(1000));
+}
+
+TEST(GenerationScheduler, SlotRecyclingForgetsStaleFeedback) {
+  coding::StreamConfig cfg;
+  cfg.generation_size = 4;
+  cfg.window = 2;
+  cfg.policy = coding::GenPolicy::RarestFirst;
+  coding::GenerationScheduler sched(1, cfg);
+  sched.open(0);
+  sched.observe(0, 0, 3, 0);  // gen 0 nearly decoded everywhere
+  sched.close(0);
+  sched.open(2);  // reuses gen 0's slot (2 % 2 == 0)
+  sched.open(1);
+  const std::vector<std::uint32_t> gens = {1, 2};
+  // Gen 2 must NOT inherit gen 0's min-heard: both are untouched, so the
+  // pick is a tie needing one draw -- not a forced gen 1.
+  sim::Rng rng(5), shadow(5);
+  sched.pick(0, gens, rng, 0);
+  shadow.uniform(2);
+  EXPECT_EQ(rng.uniform(1000), shadow.uniform(1000));
+  // Stale observe for a closed generation is ignored.
+  sched.observe(0, 0, 1, 0);
+  sched.observe(0, 2, 2, 0);  // live: need(gen 2) = 2, need(gen 1) = 4
+  EXPECT_EQ(sched.pick(0, gens, rng, 0), 1u);
+}
+
+}  // namespace

@@ -53,24 +53,36 @@ linalg::BitPacket random_bit(std::size_t k, std::size_t words, sim::Rng& rng) {
 }
 
 template <typename P>
-void expect_roundtrip(const P& pkt, std::size_t k, std::size_t len) {
+void expect_roundtrip_at(const P& pkt, std::size_t k, std::size_t len,
+                         std::uint32_t generation, std::uint8_t version) {
   std::vector<std::uint8_t> frame;
-  const std::size_t n = net::encode_into(pkt, k, frame);
+  const std::size_t n = net::encode_into(pkt, k, frame, generation, version);
   ASSERT_EQ(n, frame.size());
-  ASSERT_EQ(n, net::encoded_size<P>(k, len));
+  ASSERT_EQ(n, net::encoded_size<P>(k, len, version));
 
   P out;
-  ASSERT_EQ(net::decode_into(std::span<const std::uint8_t>(frame), k, len, out),
+  net::WireHeader hdr;
+  ASSERT_EQ(net::decode_into(std::span<const std::uint8_t>(frame), k, len, out, hdr),
             DecodeStatus::Ok)
-      << "k=" << k << " len=" << len;
+      << "k=" << k << " len=" << len << " v=" << int(version);
   EXPECT_EQ(out.coeffs, pkt.coeffs);
   EXPECT_EQ(out.payload, pkt.payload);
+  EXPECT_EQ(hdr.version, version);
+  EXPECT_EQ(hdr.generation, generation);
 
-  // Canonical encoding: re-encoding the decoded packet must reproduce the
-  // exact bytes (one encoding per packet -- what lets spare-bit checks work).
+  // Canonical encoding: re-encoding the decoded packet at the version and
+  // generation the header reported must reproduce the exact bytes (one
+  // encoding per packet -- what lets spare-bit checks work).
   std::vector<std::uint8_t> again;
-  net::encode_into(out, k, again);
+  net::encode_into(out, k, again, hdr.generation, hdr.version);
   EXPECT_EQ(again, frame);
+}
+
+template <typename P>
+void expect_roundtrip(const P& pkt, std::size_t k, std::size_t len) {
+  expect_roundtrip_at(pkt, k, len, 0, net::kWireVersion);           // v2 default
+  expect_roundtrip_at(pkt, k, len, 0xdead00ffu, net::kWireVersion); // v2 + generation
+  expect_roundtrip_at(pkt, k, len, 0, net::kWireVersionV1);         // legacy v1
 }
 
 TEST(WireFormat, RoundTripFuzzAllFieldsAcrossShapeGrid) {
@@ -90,7 +102,7 @@ TEST(WireFormat, HeaderLayoutIsExactlyAsDocumented) {
   sim::Rng rng(7);
   const auto pkt = random_dense<gf::GF256>(3, 2, rng);
   std::vector<std::uint8_t> f;
-  net::encode_into(pkt, 3, f);
+  net::encode_into(pkt, 3, f, 0x04030201u);
   ASSERT_GE(f.size(), net::kHeaderBytes);
   EXPECT_EQ(f[0], 0x41);  // 'A'
   EXPECT_EQ(f[1], 0x47);  // 'G'
@@ -98,8 +110,28 @@ TEST(WireFormat, HeaderLayoutIsExactlyAsDocumented) {
   EXPECT_EQ(f[3], static_cast<std::uint8_t>(WireField::Gf256));
   EXPECT_EQ(f[4], 3u);  // k, little-endian
   EXPECT_EQ(f[5], 0u);
-  EXPECT_EQ(f[8], 2u);  // payload_len, little-endian
+  EXPECT_EQ(f[8], 2u);   // payload_len, little-endian
+  EXPECT_EQ(f[12], 1u);  // generation, little-endian
+  EXPECT_EQ(f[13], 2u);
+  EXPECT_EQ(f[14], 3u);
+  EXPECT_EQ(f[15], 4u);
   EXPECT_EQ(f.size(), net::kHeaderBytes + 3 + 2);
+}
+
+TEST(WireFormat, V1HeaderLayoutIsExactlyAsDocumented) {
+  sim::Rng rng(7);
+  const auto pkt = random_dense<gf::GF256>(3, 2, rng);
+  std::vector<std::uint8_t> f;
+  net::encode_into(pkt, 3, f, 0, net::kWireVersionV1);
+  EXPECT_EQ(f[2], net::kWireVersionV1);
+  EXPECT_EQ(f.size(), net::kHeaderBytesV1 + 3 + 2);  // no generation field
+
+  net::WireHeader hdr;
+  Gf256Pkt out;
+  ASSERT_EQ(net::decode_into(std::span<const std::uint8_t>(f), 3, 2, out, hdr),
+            DecodeStatus::Ok);
+  EXPECT_EQ(hdr.version, net::kWireVersionV1);
+  EXPECT_EQ(hdr.generation, 0u);
 }
 
 // --- malformed-frame corpus ------------------------------------------------
@@ -137,11 +169,51 @@ TEST(WireFormat, BadMagicVersionAndFieldRejected) {
   f[2] = net::kWireVersion + 1;
   EXPECT_EQ(try_decode(f), DecodeStatus::BadVersion);
   f = good_frame();
+  f[2] = 0;
+  EXPECT_EQ(try_decode(f), DecodeStatus::BadVersion);
+  f = good_frame();
   f[3] = 6;  // first unassigned field id
   EXPECT_EQ(try_decode(f), DecodeStatus::BadField);
   f = good_frame();
   f[3] = 0xff;
   EXPECT_EQ(try_decode(f), DecodeStatus::BadField);
+}
+
+TEST(WireFormat, V1TruncationAtEveryBoundaryRejectsCleanly) {
+  sim::Rng rng(42);
+  const auto pkt = random_dense<gf::GF256>(5, 4, rng);
+  std::vector<std::uint8_t> f;
+  net::encode_into(pkt, 5, f, 0, net::kWireVersionV1);
+  for (std::size_t cut = 0; cut < f.size(); ++cut) {
+    const std::vector<std::uint8_t> t(f.begin(), f.begin() + cut);
+    EXPECT_EQ(try_decode(t), DecodeStatus::Truncated) << "cut=" << cut;
+  }
+}
+
+TEST(WireFormat, V2TruncatedInsideGenerationFieldRejected) {
+  // A v2 header cut between the v1 header size and the v2 header size:
+  // magic/version are intact, but the generation field is incomplete.
+  const auto f = good_frame();
+  for (std::size_t cut = net::kHeaderBytesV1; cut < net::kHeaderBytes; ++cut) {
+    const std::vector<std::uint8_t> t(f.begin(), f.begin() + cut);
+    EXPECT_EQ(try_decode(t), DecodeStatus::Truncated) << "cut=" << cut;
+  }
+}
+
+TEST(WireFormat, GenerationIdDoesNotAffectShapeChecks) {
+  // Same packet, different generation ids: both decode, and the id rides
+  // through the header verbatim -- routing is the caller's business.
+  sim::Rng rng(11);
+  const auto pkt = random_dense<gf::GF256>(5, 4, rng);
+  for (const std::uint32_t gen : {0u, 1u, 0xffffffffu}) {
+    std::vector<std::uint8_t> f;
+    net::encode_into(pkt, 5, f, gen);
+    Gf256Pkt out;
+    net::WireHeader hdr;
+    ASSERT_EQ(net::decode_into(std::span<const std::uint8_t>(f), 5, 4, out, hdr),
+              DecodeStatus::Ok);
+    EXPECT_EQ(hdr.generation, gen);
+  }
 }
 
 TEST(WireFormat, KnownFieldOfWrongPacketTypeRejected) {
@@ -231,6 +303,35 @@ TEST(WireFormat, ControlFrameRoundTrip) {
   ASSERT_EQ(net::decode_control(std::span<const std::uint8_t>(f), out), DecodeStatus::Ok);
   EXPECT_EQ(out.sender, 7u);
   EXPECT_TRUE(out.data.empty());
+}
+
+TEST(WireFormat, ControlFrameV1AndGenerationRoundTrip) {
+  net::ControlFrame in;
+  in.sender = 9;
+  in.data = {1, 2, 3};
+  std::vector<std::uint8_t> f;
+
+  // Legacy v1 control frames still decode, reporting generation 0.
+  net::encode_control(in, f, 0, net::kWireVersionV1);
+  ASSERT_EQ(f.size(), net::kHeaderBytesV1 + 3);
+  net::ControlFrame out;
+  net::WireHeader hdr;
+  ASSERT_EQ(net::decode_control(std::span<const std::uint8_t>(f), out, hdr),
+            DecodeStatus::Ok);
+  EXPECT_EQ(out.sender, 9u);
+  EXPECT_EQ(hdr.version, net::kWireVersionV1);
+  EXPECT_EQ(hdr.generation, 0u);
+  std::vector<std::uint8_t> again;
+  net::encode_control(out, again, hdr.generation, hdr.version);
+  EXPECT_EQ(again, f);
+
+  // v2 control frames carry the generation id through verbatim.
+  net::encode_control(in, f, 77);
+  ASSERT_EQ(net::decode_control(std::span<const std::uint8_t>(f), out, hdr),
+            DecodeStatus::Ok);
+  EXPECT_EQ(hdr.generation, 77u);
+  net::encode_control(out, again, hdr.generation, hdr.version);
+  EXPECT_EQ(again, f);
 }
 
 TEST(WireFormat, ControlAndCodedFramesDoNotCrossDecode) {
