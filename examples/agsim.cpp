@@ -26,13 +26,24 @@
 //   --implicit   serve complete/barbell topologies implicitly (O(1) memory,
 //                no edge materialisation); required for clique families at
 //                n where the Theta(n^2) edge set cannot be stored.
+//
+// Byzantine scenarios (uniform-ag and uncoded):
+//   --byzantine F   a fraction F of nodes (at least one) forge every message
+//                   they originate; insert-time verification is armed
+//                   automatically.  AG_BYZANTINE=F is the env equivalent.
+//   --attack M      rank-waste | malformed | garbage | equivocate (default)
+//   Note a message initially owned ONLY by a Byzantine node is unrecoverable
+//   (its owner lies on every send); use --placement source with an honest
+//   source when you need completion rather than inflation measurements.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/byzantine.hpp"
 #include "core/decoders.hpp"
 #include "core/dissemination.hpp"
 #include "core/sharded_round.hpp"
@@ -46,6 +57,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "linalg/rank_tracker.hpp"
+#include "sim/adversary.hpp"
 #include "sim/engine.hpp"
 #include "sim/topology.hpp"
 #include "stats/summary.hpp"
@@ -79,6 +91,11 @@ struct Options {
   bool implicit_topo = false;  // complete/barbell served without edge storage
   std::size_t shards = 0;   // --shards: intra-run sharded engine (0 = AG_SHARDS)
   bool shards_set = false;  // sharding switches engines, so it must be explicit
+  double byzantine = 0.0;   // --byzantine: Byzantine node fraction (0 = off)
+  bool byzantine_set = false;  // the flag wins over the AG_BYZANTINE env knob
+  std::string attack = "equivocate";  // --attack: forgery family
+  double radius = 0.3;      // --radius: geometric connection radius
+  std::size_t pa_m = 2;     // --pa-m: preferential-attachment edges per node
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -91,14 +108,20 @@ struct Options {
                "             [--source NODE] [--payload SYMBOLS] [--drop P]\n"
                "             [--runs R] [--seed S] [--max-rounds M] [--dot FILE]\n"
                "             [--gf2] [--rank-only] [--implicit] [--shards S]\n"
+               "             [--byzantine F] [--attack M]\n"
                "families : path cycle complete grid torus bintree star hypercube\n"
                "           barbell clique-chain lollipop er random-regular ring-chords\n"
+               "           geometric (--radius R) pref-attach (--pa-m M)\n"
                "protocols: uniform-ag tag-brr tag-unif tag-is uncoded brr is\n"
                "scaling  : --gf2 (bit-packed decoder), --rank-only (no payload arena,\n"
                "           pooled storage; rounds == --gf2 exactly), --implicit\n"
                "           (complete/barbell without edge storage; uniform-ag only),\n"
                "           --shards S (intra-run sharded engine, uniform-ag sync only;\n"
-               "           rounds are identical for every S, S=0 reads AG_SHARDS)\n");
+               "           rounds are identical for every S, S=0 reads AG_SHARDS)\n"
+               "byzantine: --byzantine F (fraction of forging nodes, at least one;\n"
+               "           AG_BYZANTINE=F is the env equivalent; uniform-ag/uncoded,\n"
+               "           arms insert-time verification), --attack rank-waste|\n"
+               "           malformed|garbage|equivocate (default equivocate)\n");
   std::exit(2);
 }
 
@@ -129,7 +152,29 @@ graph::Graph build_graph(const Options& o) {
     return graph::make_random_regular(o.n, o.reg_d, o.seed);
   if (o.graph == "ring-chords")
     return graph::make_ring_with_chords(o.n, o.n / 4, o.seed);
+  if (o.graph == "geometric")
+    return graph::make_random_geometric(o.n, o.radius, o.seed);
+  if (o.graph == "pref-attach")
+    return graph::make_preferential_attachment(o.n, o.pa_m, o.seed);
   usage("unknown graph family");
+}
+
+sim::AttackMode parse_attack(const std::string& s) {
+  if (s == "rank-waste") return sim::AttackMode::RankWaste;
+  if (s == "malformed") return sim::AttackMode::MalformedCoeffs;
+  if (s == "garbage") return sim::AttackMode::GarbagePayload;
+  if (s == "equivocate") return sim::AttackMode::Equivocate;
+  usage("unknown --attack (rank-waste|malformed|garbage|equivocate)");
+}
+
+// Fraction-based membership: the per-scenario node draw comes from the
+// adversary's own stream, so the honest protocol stream is untouched.
+sim::AdversaryConfig byzantine_config(const Options& o) {
+  sim::AdversaryConfig a;
+  a.fraction = o.byzantine;
+  a.mode = parse_attack(o.attack);
+  a.seed = o.seed;
+  return a;
 }
 
 core::Placement build_placement(const Options& o, std::size_t n, sim::Rng& rng) {
@@ -142,6 +187,8 @@ struct RunRecord {
   double rounds = 0;
   double tree_round = -1;
   double wire_mbits = 0;
+  std::uint64_t forged = 0;    // sends whose content the adversary replaced
+  std::uint64_t rejected = 0;  // receives the verification hook / guards refused
   bool decoded = true;
 };
 
@@ -163,10 +210,19 @@ RunRecord run_uniform_ag(const Options& o, std::unique_ptr<sim::TopologyView> to
                          std::size_t n, sim::Rng& rng, const core::AgConfig& cfg) {
   const auto placement = build_placement(o, n, rng);
   core::UniformAG<D, Store> proto(std::move(topo), placement, cfg);
+  const sim::AdversarialTransport<typename D::packet_type>* tp = nullptr;
+  if (o.byzantine > 0.0) {
+    auto adv = std::make_shared<sim::Adversary>(n, byzantine_config(o));
+    tp = core::attach_adversary<typename D::packet_type>(
+        proto, std::move(adv),
+        core::ByzantineShape{o.k, proto.swarm().node(0).payload_length()});
+  }
   const auto res = sim::run(proto, rng, o.max_rounds);
   RunRecord rec;
   rec.rounds = static_cast<double>(res.rounds);
   rec.wire_mbits = proto.wire_bits() / 1e6;
+  if (tp) rec.forged = tp->forged_sends();
+  rec.rejected = proto.swarm().malformed_receives();
   rec.decoded = res.completed;
   return rec;
 }
@@ -220,12 +276,32 @@ Options parse(int argc, char** argv) {
     else if (a == "--max-rounds") o.max_rounds = std::stoull(need(i));
     else if (a == "--dot") o.dot_path = need(i);
     else if (a == "--shards") { o.shards = std::stoul(need(i)); o.shards_set = true; }
+    else if (a == "--byzantine") { o.byzantine = std::stod(need(i)); o.byzantine_set = true; }
+    else if (a == "--attack") o.attack = need(i);
+    else if (a == "--radius") o.radius = std::stod(need(i));
+    else if (a == "--pa-m") o.pa_m = std::stoul(need(i));
     else if (a == "--gf2") o.gf2 = true;
     else if (a == "--rank-only") o.rank_only = true;
     else if (a == "--implicit") o.implicit_topo = true;
     else if (a == "--help" || a == "-h") usage(nullptr);
     else usage(("unknown option: " + a).c_str());
   }
+  // Env equivalent of --byzantine, same discipline as AG_SHARDS/AG_THREADS:
+  // an unparseable or out-of-range value is a loud error, never a silent 0.
+  if (!o.byzantine_set) {
+    if (const char* env = std::getenv("AG_BYZANTINE")) {
+      char* end = nullptr;
+      const double f = std::strtod(env, &end);
+      if (end == env || *end != '\0' || !(f >= 0.0) || f > 1.0) {
+        usage("AG_BYZANTINE must be a fraction in [0, 1]");
+      }
+      o.byzantine = f;
+    }
+  }
+  if (o.byzantine < 0.0 || o.byzantine > 1.0) {
+    usage("--byzantine must be a fraction in [0, 1]");
+  }
+  (void)parse_attack(o.attack);  // reject bad --attack values up front
   return o;
 }
 
@@ -247,6 +323,12 @@ int main(int argc, char** argv) {
   if (o.rank_only && o.payload > 0) {
     usage("--rank-only stores no payload (drop --payload); rank evolution is "
           "payload-independent, so stopping rounds are unaffected");
+  }
+  if (o.byzantine > 0.0 && o.protocol != "uniform-ag" && o.protocol != "uncoded") {
+    usage("--byzantine applies to --protocol uniform-ag|uncoded");
+  }
+  if (o.byzantine > 0.0 && o.shards_set) {
+    usage("--byzantine decorates the classic transport seam; drop --shards");
   }
 
   // Under --implicit the clique families are served analytically: no edge
@@ -276,9 +358,18 @@ int main(int argc, char** argv) {
                 o.protocol.c_str(), o.rank_only ? "(rank-only)" : "", o.k,
                 o.time.c_str(), o.dir.c_str(), o.drop);
   }
-  std::printf("run,rounds,tree_round,wire_Mbits,decoded\n");
+  if (o.byzantine > 0.0) {
+    // Membership is deterministic in (seed, n), so the per-run adversaries all
+    // pick these same nodes; print them so an honest --source can be chosen.
+    const sim::Adversary probe(n, byzantine_config(o));
+    std::printf("# byzantine members (%zu):", probe.byzantine_count());
+    for (const auto v : probe.members()) std::printf(" %u", static_cast<unsigned>(v));
+    std::printf("\n");
+  }
+  std::printf("run,rounds,tree_round,wire_Mbits,forged,rejected,decoded\n");
 
   std::vector<double> all_rounds;
+  std::uint64_t total_forged = 0, total_rejected = 0;
   bool all_ok = true;
   for (std::size_t r = 0; r < o.runs; ++r) {
     sim::Rng rng = sim::Rng::for_run(o.seed, r);
@@ -290,6 +381,8 @@ int main(int argc, char** argv) {
     cfg.payload_len = o.payload;
     cfg.drop_probability = o.drop;
     cfg.drop_seed = o.seed * 1000 + r;
+    // Forged frames must never reach a decoder's elimination path.
+    cfg.verify_inserts = o.byzantine > 0.0;
 
     if (o.protocol == "uniform-ag" && o.shards_set) {
       auto topo = make_view(o, g ? &*g : nullptr);
@@ -350,8 +443,16 @@ int main(int argc, char** argv) {
       ucfg.direction = dir;
       ucfg.drop_probability = o.drop;
       core::UncodedGossip proto(*g, placement, ucfg);
+      const sim::AdversarialTransport<std::uint32_t>* tp = nullptr;
+      if (o.byzantine > 0.0) {
+        auto adv = std::make_shared<sim::Adversary>(n, byzantine_config(o));
+        tp = core::attach_adversary<std::uint32_t>(proto, std::move(adv),
+                                                   core::ByzantineShape{o.k, 0});
+      }
       const auto res = sim::run(proto, rng, o.max_rounds);
       rec.rounds = static_cast<double>(res.rounds);
+      if (tp) rec.forged = tp->forged_sends();
+      rec.rejected = proto.rejected_receives();
       rec.decoded = res.completed;
     } else if (o.protocol == "brr") {
       core::BroadcastStpConfig stp;
@@ -381,14 +482,24 @@ int main(int argc, char** argv) {
     }
 
     all_rounds.push_back(rec.rounds);
+    total_forged += rec.forged;
+    total_rejected += rec.rejected;
     all_ok = all_ok && rec.decoded;
-    std::printf("%zu,%.0f,%.0f,%.3f,%s\n", r, rec.rounds, rec.tree_round,
-                rec.wire_mbits, rec.decoded ? "yes" : "NO");
+    std::printf("%zu,%.0f,%.0f,%.3f,%llu,%llu,%s\n", r, rec.rounds, rec.tree_round,
+                rec.wire_mbits, static_cast<unsigned long long>(rec.forged),
+                static_cast<unsigned long long>(rec.rejected),
+                rec.decoded ? "yes" : "NO");
   }
 
   const auto s = ag::stats::summarize(all_rounds);
   std::printf("# summary: mean=%.1f median=%.1f min=%.0f max=%.0f stddev=%.1f%s\n",
               s.mean, s.median, s.min, s.max, s.stddev,
               all_ok ? "" : "  [SOME RUNS DID NOT COMPLETE]");
+  if (o.byzantine > 0.0) {
+    std::printf("# byzantine: fraction=%.2f attack=%s forged=%llu rejected=%llu\n",
+                o.byzantine, o.attack.c_str(),
+                static_cast<unsigned long long>(total_forged),
+                static_cast<unsigned long long>(total_rejected));
+  }
   return all_ok ? 0 : 1;
 }

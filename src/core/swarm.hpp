@@ -22,6 +22,7 @@
 
 #include "core/dissemination.hpp"
 #include "core/swarm_storage.hpp"
+#include "linalg/verify.hpp"
 #include "sim/rng.hpp"
 
 namespace ag::core {
@@ -129,6 +130,24 @@ class RlncSwarm {
   std::uint64_t helpful_receives() const noexcept { return helpful_; }
   std::uint64_t useless_receives() const noexcept { return useless_; }
 
+  /// Arms the insert-time verification hook (linalg/verify.hpp): every
+  /// received packet is shape/range-checked BEFORE it reaches the decoder,
+  /// and rejects are counted swarm-wide and per node.  Mandatory whenever an
+  /// adversary may inject malformed frames -- the decoders assume canonical
+  /// shapes (their insert() asserts them) and must never see a hostile
+  /// packet.  Off by default: the honest hot path pays nothing.
+  void enable_verification() {
+    verify_inserts_ = true;
+    malformed_per_node_.assign(finish_round_.size(), 0);
+  }
+  bool verification_enabled() const noexcept { return verify_inserts_; }
+
+  /// Packets rejected by the verification hook (swarm-wide / per node).
+  std::uint64_t malformed_receives() const noexcept { return malformed_; }
+  std::uint64_t malformed_at(graph::NodeId v) const {
+    return verify_inserts_ ? malformed_per_node_[v] : 0;
+  }
+
   /// RLNC transmit rule for node v; nullopt when v stores nothing.
   template <typename URBG>
   std::optional<packet_type> combine(graph::NodeId v, URBG& rng) const {
@@ -167,6 +186,11 @@ class RlncSwarm {
   /// the packet was helpful (increased `to`'s rank).
   bool receive(graph::NodeId to, const packet_type& pkt, std::uint64_t now_round) {
     decltype(auto) d = store_.at(to);
+    if (verify_inserts_ && linalg::is_malformed(d, pkt)) {
+      ++malformed_;
+      ++malformed_per_node_[to];
+      return false;
+    }
     if (d.insert(pkt)) {
       ++helpful_;
       if (d.full_rank()) mark_finished(to, now_round);
@@ -183,6 +207,7 @@ class RlncSwarm {
   struct ReceiveTally {
     std::uint64_t helpful = 0;
     std::uint64_t useless = 0;
+    std::uint64_t malformed = 0;  ///< rejected by the verification hook
     std::size_t completed = 0;  ///< nodes that reached full rank this phase
   };
 
@@ -193,6 +218,11 @@ class RlncSwarm {
   bool receive_tallied(graph::NodeId to, const packet_type& pkt,
                        std::uint64_t now_round, ReceiveTally& tally) {
     decltype(auto) d = store_.at(to);
+    if (verify_inserts_ && linalg::is_malformed(d, pkt)) {
+      ++tally.malformed;
+      ++malformed_per_node_[to];  // node-local write: shard-safe
+      return false;
+    }
     if (d.insert(pkt)) {
       ++tally.helpful;
       if (d.full_rank() && finish_round_[to] == kNotFinished) {
@@ -210,6 +240,7 @@ class RlncSwarm {
   void absorb_tally(const ReceiveTally& t) {
     helpful_ += t.helpful;
     useless_ += t.useless;
+    malformed_ += t.malformed;
     complete_ += t.completed;
   }
 
@@ -254,6 +285,9 @@ class RlncSwarm {
   std::size_t complete_ = 0;
   std::uint64_t helpful_ = 0;
   std::uint64_t useless_ = 0;
+  std::uint64_t malformed_ = 0;
+  bool verify_inserts_ = false;
+  std::vector<std::uint64_t> malformed_per_node_;  // sized by enable_verification()
 };
 
 }  // namespace ag::core

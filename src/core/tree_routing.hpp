@@ -103,8 +103,17 @@ class TreeRoutingGossip
   std::size_t known_count(graph::NodeId v) const { return known_count_[v]; }
   std::size_t complete_count() const noexcept { return complete_; }
 
+  /// Blocks rejected for carrying an id outside [0, k) -- insert-time
+  /// verification for the uncoded routing baseline (always on; an
+  /// out-of-range id would index has_ out of bounds).
+  std::uint64_t rejected_receives() const noexcept { return rejected_; }
+
  private:
   void deliver(graph::NodeId from, graph::NodeId to, const std::uint32_t& block) {
+    if (block >= k_) {
+      ++rejected_;
+      return;
+    }
     store(to, block, from);
   }
 
@@ -160,6 +169,7 @@ class TreeRoutingGossip
   std::vector<std::size_t> known_count_;
   std::vector<std::vector<graph::NodeId>> children_;
   std::size_t complete_ = 0;
+  std::uint64_t rejected_ = 0;
   std::uint64_t round_ = 0;
 };
 

@@ -99,8 +99,20 @@ class UncodedGossip
   std::size_t known_count(graph::NodeId v) const { return known_[v].size(); }
   const sim::TopologyView& topology() const noexcept { return *topo_; }
 
+  /// Messages rejected for carrying an id outside [0, k) -- the uncoded
+  /// protocol's (unconditional) insert-time verification.  A Byzantine peer
+  /// or a corrupted frame is the only source of such ids.
+  std::uint64_t rejected_receives() const noexcept { return rejected_; }
+
  private:
   void deliver(graph::NodeId /*from*/, graph::NodeId to, const std::uint32_t& msg) {
+    // Verification guard: an out-of-range id would index has_[to] out of
+    // bounds.  Always on -- it is one compare and hostile ids are never
+    // legitimate.
+    if (msg >= k_) {
+      ++rejected_;
+      return;
+    }
     if (has_[to][msg]) return;
     has_[to][msg] = 1;
     known_[to].push_back(msg);
@@ -128,6 +140,7 @@ class UncodedGossip
   std::vector<std::vector<char>> has_;
   sim::UniformSelector selector_;
   std::size_t complete_ = 0;
+  std::uint64_t rejected_ = 0;
   std::uint64_t round_ = 0;
 };
 

@@ -191,4 +191,74 @@ Graph make_ring_with_chords(std::size_t n, std::size_t chords, std::uint64_t see
   return g;
 }
 
+Graph make_random_geometric(std::size_t n, double radius, std::uint64_t seed) {
+  if (n == 0 || radius <= 0.0)
+    throw std::invalid_argument("random_geometric needs n >= 1 and radius > 0");
+  std::mt19937_64 rng(seed);
+  const double r2 = radius * radius;
+  std::vector<double> x(n), y(n);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    // Fresh point set each attempt: two canonical draws per point, in node
+    // order, so the layout is portable and seed-determined.
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = util::canonical_double(rng);
+      y[i] = util::canonical_double(rng);
+    }
+    Graph g(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        const double dx = x[u] - x[v];
+        const double dy = y[u] - y[v];
+        if (dx * dx + dy * dy <= r2) g.add_edge(u, v);
+      }
+    }
+    if (is_connected(g)) return g;
+  }
+  throw std::invalid_argument(
+      "random_geometric: could not produce a connected graph; raise radius");
+}
+
+Graph make_preferential_attachment(std::size_t n, std::size_t m, std::uint64_t seed) {
+  if (m < 1 || m + 1 > n)
+    throw std::invalid_argument("preferential_attachment needs 1 <= m and m + 1 <= n");
+  std::mt19937_64 rng(seed);
+  Graph g(n);
+  // Degree-proportional sampling via the repeated-endpoints list: every
+  // endpoint of every edge appears once, so a uniform draw from the list is
+  // a draw proportional to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * (m * (m + 1) / 2 + (n - m - 1) * m));
+  const auto connect = [&g, &endpoints](NodeId u, NodeId v) {
+    g.add_edge(u, v);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+  };
+  // Seed clique on the first m + 1 nodes (every early node has degree >= m,
+  // and the graph stays connected by construction).
+  for (NodeId u = 0; u < m + 1; ++u)
+    for (NodeId v = u + 1; v < m + 1; ++v) connect(u, v);
+  std::vector<NodeId> targets;
+  targets.reserve(m);
+  for (auto v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    // m distinct degree-proportional targets among [0, v); duplicates are
+    // resampled.  m < v always holds here, so this terminates.
+    targets.clear();
+    while (targets.size() < m) {
+      const NodeId t = endpoints[util::uniform_below(rng, endpoints.size())];
+      bool dup = false;
+      for (const NodeId prev : targets) {
+        if (prev == t) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) targets.push_back(t);
+    }
+    // Endpoints join the list only after all m draws: a new edge must not
+    // bias this node's own attachment step.
+    for (const NodeId t : targets) connect(v, t);
+  }
+  return g;
+}
+
 }  // namespace ag::graph

@@ -64,4 +64,21 @@ Graph make_random_regular(std::size_t n, std::size_t d, std::uint64_t seed);
 // family with Delta <= 2 + O(chords/n) used for "any graph" sweeps.
 Graph make_ring_with_chords(std::size_t n, std::size_t chords, std::uint64_t seed);
 
+// Random geometric graph: n points uniform in the unit square, an edge
+// between every pair within Euclidean distance `radius`.  The standard
+// wireless/sensor-deployment model (locally dense, globally sparse --
+// conductance governed by the narrowest corridor).  Retries with fresh
+// points until connected; throws std::invalid_argument when the radius is
+// too small to plausibly connect after 200 attempts (the sharp connectivity
+// threshold is around sqrt(ln n / (pi n))).
+Graph make_random_geometric(std::size_t n, double radius, std::uint64_t seed);
+
+// Preferential attachment (Barabasi-Albert): start from a (m+1)-clique, then
+// attach each new node to `m` distinct existing nodes drawn proportionally
+// to their degree (repeated-endpoints list; duplicate targets resampled).
+// Power-law degree tail: a few hubs of huge degree -- the heterogeneous-
+// degree stress case for the paper's Delta-dependent bounds.  Always
+// connected by construction.  Requires 1 <= m and m + 1 <= n.
+Graph make_preferential_attachment(std::size_t n, std::size_t m, std::uint64_t seed);
+
 }  // namespace ag::graph

@@ -1,0 +1,206 @@
+/// \file
+/// Byzantine adversary policy: WHICH nodes lie, HOW they lie, and the
+/// transport decorator that makes them lie -- protocol- and packet-agnostic.
+///
+/// This is the sim-layer half of the adversarial scenario subsystem (ROADMAP
+/// item 5).  The sim layer cannot name decoder packet types (the layer DAG
+/// forbids sim -> linalg), so everything here is generic over the mailbox
+/// message type `Msg`: the concrete forgery -- building a rank-wasting
+/// combination, scrambling a coefficient vector -- is a callback supplied by
+/// core/byzantine.hpp, which sits above both layers.
+///
+/// Determinism contract (same discipline as sim::Channel): the adversary owns
+/// its OWN Rng stream, seeded at construction via Rng::for_stream with a
+/// dedicated stream id.  Membership selection and every forgery draw come
+/// from that stream and from nothing else, and honest traffic consumes zero
+/// adversary draws.  Crucially the decorator REPLACES message content after
+/// the honest protocol has already produced it, so the honest partner/coding
+/// draw sequence is byte-identical with and without an adversary attached --
+/// the golden stopping-round traces cannot shift when --byzantine is off,
+/// and an adversarial run is itself fully determined by (seed, config).
+///
+/// Attack families (mirrors the taxonomy in linalg/verify.hpp):
+///   RankWaste       -- replace the payload equation with the all-zero
+///                      combination: well-formed, dependent against EVERY
+///                      receiver state, so it can never advance rank.
+///   MalformedCoeffs -- structurally invalid coefficient vector (wrong
+///                      length / out-of-range symbols / dirty spare bits).
+///   GarbagePayload  -- shape-violating payload stuffed with random junk.
+///   Equivocate      -- per-send uniform choice among the three families, so
+///                      a BROADCAST fan-out shows different peers different
+///                      (and differently hostile) frames.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+#include "sim/transport.hpp"
+#include "util/urbg.hpp"
+
+namespace ag::sim {
+
+/// How a Byzantine node corrupts the traffic it originates.
+enum class AttackMode : std::uint8_t {
+  RankWaste,        ///< all-zero combinations: dependent against any state
+  MalformedCoeffs,  ///< structurally invalid coefficient vectors
+  GarbagePayload,   ///< shape-violating payloads full of junk
+  Equivocate,       ///< per-send random family; BROADCAST peers disagree
+};
+
+inline const char* attack_mode_name(AttackMode m) noexcept {
+  switch (m) {
+    case AttackMode::RankWaste: return "rank-waste";
+    case AttackMode::MalformedCoeffs: return "malformed-coeffs";
+    case AttackMode::GarbagePayload: return "garbage-payload";
+    case AttackMode::Equivocate: return "equivocate";
+  }
+  return "?";
+}
+
+/// Scenario description: either an explicit node set or a fraction of the
+/// population (rounded down, at least one node when fraction > 0).
+struct AdversaryConfig {
+  double fraction = 0.0;             ///< Byzantine share of n; ignored if nodes set
+  std::vector<graph::NodeId> nodes;  ///< explicit membership (wins when non-empty)
+  AttackMode mode = AttackMode::Equivocate;
+  std::uint64_t seed = 0;            ///< adversary stream seed (own stream)
+};
+
+/// Membership bitmap + the adversary's private randomness.
+class Adversary {
+ public:
+  Adversary(std::size_t n, const AdversaryConfig& cfg)
+      : mode_(cfg.mode),
+        byzantine_(n, 0),
+        rng_(Rng::for_stream(cfg.seed, kAdversaryStream)) {
+    if (!cfg.nodes.empty()) {
+      for (const auto v : cfg.nodes) {
+        assert(v < n);
+        if (v < n && !byzantine_[v]) {
+          byzantine_[v] = 1;
+          members_.push_back(v);
+        }
+      }
+    } else if (cfg.fraction > 0.0 && n > 0) {
+      std::size_t m = static_cast<std::size_t>(cfg.fraction * static_cast<double>(n));
+      if (m == 0) m = 1;
+      if (m > n) m = n;
+      // Portable partial Fisher-Yates over the node ids, drawn from the
+      // adversary's own stream (membership is part of the scenario, not of
+      // the honest protocol's randomness).
+      std::vector<graph::NodeId> ids(n);
+      for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<graph::NodeId>(i);
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t j = i + util::uniform_below(rng_, n - i);
+        std::swap(ids[i], ids[j]);
+        byzantine_[ids[i]] = 1;
+        members_.push_back(ids[i]);
+      }
+    }
+  }
+
+  AttackMode mode() const noexcept { return mode_; }
+  bool is_byzantine(graph::NodeId v) const noexcept {
+    return v < byzantine_.size() && byzantine_[v] != 0;
+  }
+  std::size_t byzantine_count() const noexcept { return members_.size(); }
+  const std::vector<graph::NodeId>& members() const noexcept { return members_; }
+
+  /// The forge stream.  Only forgery callbacks may draw from it.
+  Rng& rng() noexcept { return rng_; }
+
+  /// Resolves Equivocate into a concrete family for one send; fixed modes
+  /// consume no draws.
+  AttackMode draw_family() noexcept {
+    if (mode_ != AttackMode::Equivocate) return mode_;
+    switch (util::uniform_below(rng_, 3)) {
+      case 0: return AttackMode::RankWaste;
+      case 1: return AttackMode::MalformedCoeffs;
+      default: return AttackMode::GarbagePayload;
+    }
+  }
+
+ private:
+  // Dedicated stream id, far outside the per-node id space used by the
+  // sharded runner, so the adversary stream never collides with a node's.
+  static constexpr std::uint64_t kAdversaryStream = 0xADBEEF5Cull << 32;
+
+  AttackMode mode_;
+  std::vector<std::uint8_t> byzantine_;
+  std::vector<graph::NodeId> members_;
+  Rng rng_;
+};
+
+/// \brief Transport decorator that corrupts every message a Byzantine node
+/// originates, leaving honest traffic untouched.
+///
+/// Installed through the Mailbox seam (`set_transport`), so one decorator
+/// covers all six protocols; PULL and EXCHANGE responses are sent with
+/// `from = responder`, so a Byzantine responder's reply legs are corrupted
+/// too, and a BROADCAST fan-out forges each copy independently (that is the
+/// equivocation).  The concrete mutation is the `forge` callback (see
+/// core/byzantine.hpp); it receives the resolved attack family and the
+/// adversary's stream and must mutate the message in place.
+template <typename Msg>
+class AdversarialTransport final : public Transport<Msg> {
+ public:
+  using Forge = std::function<void(Rng&, AttackMode, graph::NodeId to, Msg&)>;
+
+  AdversarialTransport(std::unique_ptr<Transport<Msg>> inner,
+                       std::shared_ptr<Adversary> adversary, Forge forge)
+      : inner_(std::move(inner)),
+        adversary_(std::move(adversary)),
+        forge_(std::move(forge)) {
+    assert(inner_ && adversary_ && forge_);
+  }
+
+  void send(graph::NodeId from, graph::NodeId to, const Msg& msg,
+            DeliverRef<Msg> deliver) override {
+    if (!adversary_->is_byzantine(from)) {
+      inner_->send(from, to, msg, deliver);
+      return;
+    }
+    Msg forged = msg;
+    forge_(adversary_->rng(), adversary_->draw_family(), to, forged);
+    ++forged_sends_;
+    inner_->send(from, to, std::move(forged), deliver);
+  }
+
+  void send(graph::NodeId from, graph::NodeId to, Msg&& msg,
+            DeliverRef<Msg> deliver) override {
+    if (!adversary_->is_byzantine(from)) {
+      inner_->send(from, to, std::move(msg), deliver);
+      return;
+    }
+    forge_(adversary_->rng(), adversary_->draw_family(), to, msg);
+    ++forged_sends_;
+    inner_->send(from, to, std::move(msg), deliver);
+  }
+
+  void drain(DeliverRef<Msg> deliver) override { inner_->drain(deliver); }
+
+  const TransportStats& stats() const noexcept override { return inner_->stats(); }
+
+  void set_channel(Channel ch) override { inner_->set_channel(std::move(ch)); }
+  const Channel& channel() const noexcept override { return inner_->channel(); }
+
+  /// Messages whose content this decorator replaced.
+  std::uint64_t forged_sends() const noexcept { return forged_sends_; }
+
+  const Adversary& adversary() const noexcept { return *adversary_; }
+
+ private:
+  std::unique_ptr<Transport<Msg>> inner_;
+  std::shared_ptr<Adversary> adversary_;
+  Forge forge_;
+  std::uint64_t forged_sends_ = 0;
+};
+
+}  // namespace ag::sim

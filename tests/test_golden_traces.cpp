@@ -52,6 +52,11 @@ const std::vector<double>& golden(const std::string& name) {
       {"ftag_gf256_gridtree_sync", {11, 11, 11, 11}},
       {"uag_gf2_cycle_push_sync", {53, 46, 44, 34}},
       {"uag_gf2_cycle_pull_async", {39, 39, 38, 49}},
+      // Captured 2026-08 when the geometric / preferential-attachment
+      // generators landed: pins both the generators' draw sequences and the
+      // protocol stream on their graphs.
+      {"uag_gf2_geometric_sync", {18, 21, 16, 18}},
+      {"uag_gf256_powerlaw_sync", {10, 11, 10, 10}},
   };
   for (const auto& [key, vec] : kGolden) {
     if (key == name) return vec;
@@ -204,6 +209,25 @@ TEST(GoldenTrace, UniformAgGf2CyclePullAsync) {
     cfg.direction = sim::Direction::Pull;
     return core::UniformAG<core::Gf2Decoder>(g, pl, cfg);
   }, 112);
+}
+
+TEST(GoldenTrace, UniformAgGf2GeometricSync) {
+  const auto g = graph::make_random_geometric(20, 0.42, 914);
+  expect_golden("uag_gf2_geometric_sync", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(10, 20, rng);
+    core::AgConfig cfg;
+    return core::UniformAG<core::Gf2Decoder>(g, pl, cfg);
+  }, 114);
+}
+
+TEST(GoldenTrace, UniformAgGf256PowerlawSync) {
+  const auto g = graph::make_preferential_attachment(20, 2, 915);
+  expect_golden("uag_gf256_powerlaw_sync", [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(10, 20, rng);
+    core::AgConfig cfg;
+    cfg.payload_len = 2;
+    return core::UniformAG<core::Gf256Decoder>(g, pl, cfg);
+  }, 115);
 }
 
 // A StaticTopology passed explicitly must be stream-identical to the

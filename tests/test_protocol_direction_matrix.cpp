@@ -1,0 +1,376 @@
+// The full protocol x direction x topology x field matrix, run through the
+// statistical-bounds harness (core::stopping_rounds -- the same seeded
+// multi-run entry every bench funnels through) at smoke scale.  Topologies
+// deliberately include the two new random families (geometric, preferential
+// attachment) so every protocol is exercised on locally-clustered and
+// heavy-tailed-degree graphs, not just the classic regular/clique shapes.
+//
+// Each TEST_P cell asserts completion under a generous budget plus full-rank
+// decode on a pinned representative run; the Haeupler-flavoured hard
+// ordering on the barbell (PULL must not beat EXCHANGE under coupled seeds)
+// is a separate named test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/decoders.hpp"
+#include "core/dissemination.hpp"
+#include "core/experiment.hpp"
+#include "core/fixed_tree_ag.hpp"
+#include "core/stp_policies.hpp"
+#include "core/stp_protocol.hpp"
+#include "core/tag.hpp"
+#include "core/tree_routing.hpp"
+#include "core/uncoded_gossip.hpp"
+#include "core/uniform_ag.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ag;
+using core::AgConfig;
+
+constexpr std::uint64_t kBudget = 2000000;
+
+// The five matrix topologies at n = 16.  The random families are pinned by
+// seed, so every cell is deterministic.
+graph::Graph matrix_graph(const std::string& name) {
+  if (name == "complete") return graph::make_complete(16);
+  if (name == "barbell") return graph::make_barbell(16);
+  if (name == "ring") return graph::make_cycle(16);
+  if (name == "geometric") return graph::make_random_geometric(16, 0.45, 914);
+  return graph::make_preferential_attachment(16, 2, 915);  // "powerlaw"
+}
+
+const std::string kTopologies[] = {"complete", "barbell", "ring", "geometric",
+                                   "powerlaw"};
+
+sim::Direction parse_dir(const std::string& d) {
+  if (d == "push") return sim::Direction::Push;
+  if (d == "pull") return sim::Direction::Pull;
+  if (d == "broadcast") return sim::Direction::Broadcast;
+  return sim::Direction::Exchange;
+}
+
+// ---------------------------------------------------------------------------
+// Uniform AG: topology x direction x field (GF(2) bit-packed / GF(256)).
+// ---------------------------------------------------------------------------
+
+using AgCell = std::tuple<std::string, std::string, std::string>;
+
+class UniformAgDirectionMatrix : public ::testing::TestWithParam<AgCell> {};
+
+template <typename D>
+void run_uag_cell(const graph::Graph& g, sim::Direction dir, std::uint64_t seed) {
+  const std::size_t n = g.node_count();
+  const std::size_t k = n / 2;
+  const auto make = [&](sim::Rng& rng) {
+    const auto pl = core::uniform_distinct(k, n, rng);
+    AgConfig cfg;
+    cfg.direction = dir;
+    cfg.payload_len = 2;
+    return core::UniformAG<D>(g, pl, cfg);
+  };
+  // Through the statistical harness: two seeded runs, throws on budget.
+  const auto rounds = core::stopping_rounds(make, 2, seed, kBudget);
+  ASSERT_EQ(rounds.size(), 2u);
+  for (const double r : rounds) EXPECT_GE(r, 1.0);
+  // Representative pinned run with full decode verification.
+  sim::Rng rng = sim::Rng::for_run(seed, 0);
+  auto proto = make(rng);
+  const auto res = sim::run(proto, rng, kBudget);
+  ASSERT_TRUE(res.completed);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    ASSERT_TRUE(proto.swarm().node(v).full_rank()) << "v=" << v;
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_TRUE(proto.swarm().decodes_correctly(v, i)) << "v=" << v << " i=" << i;
+    }
+  }
+}
+
+TEST_P(UniformAgDirectionMatrix, CompletesAndDecodes) {
+  const auto& [gname, dir, field] = GetParam();
+  const auto g = matrix_graph(gname);
+  const std::uint64_t seed =
+      7000 + std::hash<std::string>{}(gname + dir + field) % 1000;
+  if (field == "gf2") {
+    run_uag_cell<core::Gf2Decoder>(g, parse_dir(dir), seed);
+  } else {
+    run_uag_cell<core::Gf256Decoder>(g, parse_dir(dir), seed);
+  }
+}
+
+std::string ag_cell_name(const ::testing::TestParamInfo<AgCell>& info) {
+  std::string name = std::get<0>(info.param);
+  name += "_";
+  name += std::get<1>(info.param);
+  name += "_";
+  name += std::get<2>(info.param);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, UniformAgDirectionMatrix,
+    ::testing::Combine(::testing::ValuesIn(kTopologies),
+                       ::testing::Values("push", "pull", "exchange", "broadcast"),
+                       ::testing::Values("gf2", "gf256")),
+    ag_cell_name);
+
+// ---------------------------------------------------------------------------
+// Uncoded gossip: topology x direction.
+// ---------------------------------------------------------------------------
+
+using UncodedCell = std::tuple<std::string, std::string>;
+
+class UncodedDirectionMatrix : public ::testing::TestWithParam<UncodedCell> {};
+
+TEST_P(UncodedDirectionMatrix, CompletesEveryNodeKnowsEveryBlock) {
+  const auto& [gname, dir] = GetParam();
+  const auto g = matrix_graph(gname);
+  const std::size_t n = g.node_count();
+  const std::size_t k = n / 2;
+  sim::Rng rng(7500 + std::hash<std::string>{}(gname + dir) % 1000);
+  const auto pl = core::uniform_distinct(k, n, rng);
+  core::UncodedConfig cfg;
+  cfg.direction = parse_dir(dir);
+  core::UncodedGossip proto(g, pl, cfg);
+  const auto res = sim::run(proto, rng, kBudget);
+  ASSERT_TRUE(res.completed);
+  for (graph::NodeId v = 0; v < n; ++v) EXPECT_EQ(proto.known_count(v), k);
+  EXPECT_EQ(proto.rejected_receives(), 0u);  // honest ids, always-on guard
+}
+
+std::string uncoded_cell_name(const ::testing::TestParamInfo<UncodedCell>& info) {
+  std::string name = std::get<0>(info.param);
+  name += "_";
+  name += std::get<1>(info.param);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, UncodedDirectionMatrix,
+    ::testing::Combine(::testing::ValuesIn(kTopologies),
+                       ::testing::Values("push", "pull", "exchange", "broadcast")),
+    uncoded_cell_name);
+
+// ---------------------------------------------------------------------------
+// TAG (broadcast STP policy) and FixedTreeAG: topology x field.
+// ---------------------------------------------------------------------------
+
+using TreeCell = std::tuple<std::string, std::string>;
+
+class TagFieldMatrix : public ::testing::TestWithParam<TreeCell> {};
+
+template <typename D>
+void run_tag_cell(const graph::Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.node_count();
+  const std::size_t k = n / 3 + 1;
+  sim::Rng rng(seed);
+  const auto pl = core::uniform_distinct(k, n, rng);
+  AgConfig cfg;
+  cfg.payload_len = 1;
+  core::BroadcastStpConfig stp;
+  core::Tag<D, core::BroadcastStpPolicy> proto(g, pl, cfg, stp, rng);
+  const auto res = sim::run(proto, rng, kBudget);
+  ASSERT_TRUE(res.completed);
+  EXPECT_TRUE(proto.policy().tree_complete());
+  EXPECT_TRUE(proto.policy().tree().is_subgraph_of(g));
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_TRUE(proto.swarm().decodes_correctly(v, i)) << "v=" << v;
+    }
+  }
+}
+
+TEST_P(TagFieldMatrix, CompletesWithValidTree) {
+  const auto& [gname, field] = GetParam();
+  const auto g = matrix_graph(gname);
+  const std::uint64_t seed = 7600 + std::hash<std::string>{}(gname + field) % 1000;
+  if (field == "gf2") {
+    run_tag_cell<core::Gf2Decoder>(g, seed);
+  } else {
+    run_tag_cell<core::Gf256Decoder>(g, seed);
+  }
+}
+
+class FixedTreeFieldMatrix : public ::testing::TestWithParam<TreeCell> {};
+
+template <typename D>
+void run_ftag_cell(const graph::Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.node_count();
+  const std::size_t k = n / 2;
+  const auto tree = graph::bfs_tree(g, 0);
+  sim::Rng rng(seed);
+  const auto pl = core::uniform_distinct(k, n, rng);
+  AgConfig cfg;
+  cfg.payload_len = 1;
+  core::FixedTreeAG<D> proto(tree, pl, cfg);
+  const auto res = sim::run(proto, rng, kBudget);
+  ASSERT_TRUE(res.completed);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    ASSERT_TRUE(proto.swarm().node(v).full_rank()) << "v=" << v;
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_TRUE(proto.swarm().decodes_correctly(v, i)) << "v=" << v;
+    }
+  }
+}
+
+TEST_P(FixedTreeFieldMatrix, CompletesAndDecodesOnBfsTree) {
+  const auto& [gname, field] = GetParam();
+  const auto g = matrix_graph(gname);
+  const std::uint64_t seed = 7700 + std::hash<std::string>{}(gname + field) % 1000;
+  if (field == "gf2") {
+    run_ftag_cell<core::Gf2Decoder>(g, seed);
+  } else {
+    run_ftag_cell<core::Gf256Decoder>(g, seed);
+  }
+}
+
+std::string tree_cell_name(const ::testing::TestParamInfo<TreeCell>& info) {
+  std::string name = std::get<0>(info.param);
+  name += "_";
+  name += std::get<1>(info.param);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, TagFieldMatrix,
+                         ::testing::Combine(::testing::ValuesIn(kTopologies),
+                                            ::testing::Values("gf2", "gf256")),
+                         tree_cell_name);
+INSTANTIATE_TEST_SUITE_P(AllCells, FixedTreeFieldMatrix,
+                         ::testing::Combine(::testing::ValuesIn(kTopologies),
+                                            ::testing::Values("gf2", "gf256")),
+                         tree_cell_name);
+
+// ---------------------------------------------------------------------------
+// TreeRoutingGossip and the standalone STP protocol: topology sweep.
+// ---------------------------------------------------------------------------
+
+class TreeRoutingMatrix : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TreeRoutingMatrix, RoutingCompletesOnBfsTree) {
+  const auto g = matrix_graph(GetParam());
+  const std::size_t n = g.node_count();
+  const std::size_t k = n / 2;
+  const auto tree = graph::bfs_tree(g, 0);
+  sim::Rng rng(7800 + std::hash<std::string>{}(GetParam()) % 1000);
+  const auto pl = core::uniform_distinct(k, n, rng);
+  core::TreeRoutingGossip proto(tree, pl, core::TreeRoutingConfig{});
+  const auto res = sim::run(proto, rng, kBudget);
+  ASSERT_TRUE(res.completed);
+  for (graph::NodeId v = 0; v < n; ++v) EXPECT_EQ(proto.known_count(v), k);
+  EXPECT_EQ(proto.rejected_receives(), 0u);
+}
+
+class StpMatrix : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StpMatrix, SpanningTreeCompletesAndIsValid) {
+  const auto g = matrix_graph(GetParam());
+  sim::Rng rng(7900 + std::hash<std::string>{}(GetParam()) % 1000);
+  core::BroadcastStpConfig stp;
+  core::StpProtocol<core::BroadcastStpPolicy> proto(sim::TimeModel::Synchronous, g,
+                                                    stp, rng);
+  const auto res = sim::run(proto, rng, kBudget);
+  ASSERT_TRUE(res.completed);
+  EXPECT_TRUE(proto.policy().tree().is_complete());
+  EXPECT_TRUE(proto.policy().tree().is_subgraph_of(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, TreeRoutingMatrix,
+                         ::testing::ValuesIn(kTopologies));
+INSTANTIATE_TEST_SUITE_P(AllCells, StpMatrix, ::testing::ValuesIn(kTopologies));
+
+// ---------------------------------------------------------------------------
+// The Haeupler barbell leg, asserted as a hard ordering: on the barbell the
+// one-edge bottleneck throttles every direction equally, but EXCHANGE moves
+// a combination both ways per transaction while PULL moves one -- so under
+// coupled seeds PULL must never beat EXCHANGE on mean stopping time, and
+// the mean gap must be material.
+// ---------------------------------------------------------------------------
+
+TEST(HaeuplerBarbell, PullNeverBeatsExchange) {
+  const auto g = graph::make_barbell(16);
+  const std::size_t k = 8, runs = 8;
+  const auto rounds_for = [&](sim::Direction dir) {
+    return core::stopping_rounds(
+        [&](sim::Rng& rng) {
+          const auto pl = core::uniform_distinct(k, g.node_count(), rng);
+          AgConfig cfg;
+          cfg.direction = dir;
+          return core::UniformAG<core::Gf2Decoder>(g, pl, cfg);
+        },
+        runs, 8100, kBudget);
+  };
+  const auto pull = rounds_for(sim::Direction::Pull);
+  const auto exch = rounds_for(sim::Direction::Exchange);
+  double mean_pull = 0, mean_exch = 0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    mean_pull += pull[r];
+    mean_exch += exch[r];
+  }
+  mean_pull /= static_cast<double>(runs);
+  mean_exch /= static_cast<double>(runs);
+  EXPECT_GE(mean_pull, mean_exch)
+      << "pull=" << mean_pull << " exchange=" << mean_exch;
+}
+
+// ---------------------------------------------------------------------------
+// Conductance wiring for the new families: both are measurable through
+// graph/analysis, the sweep bound upper-bounds the exact minimum, and the
+// geometric family's conductance sits above the barbell's single-bridge
+// bottleneck at equal n.
+// ---------------------------------------------------------------------------
+
+TEST(NewFamilies, ConductanceMeasurableAndOrdered) {
+  const auto geo = graph::make_random_geometric(16, 0.45, 914);
+  const auto pa = graph::make_preferential_attachment(16, 2, 915);
+  const auto barbell = graph::make_barbell(16);
+  for (const auto* g : {&geo, &pa}) {
+    const double exact = graph::conductance_exact(*g);
+    const double sweep = graph::conductance_sweep(*g);
+    EXPECT_GT(exact, 0.0);
+    EXPECT_LE(exact, sweep + 1e-12);
+  }
+  EXPECT_GT(graph::conductance_exact(pa), graph::conductance_exact(barbell));
+}
+
+TEST(NewFamilies, GeneratorsAreDeterministicAndValidate) {
+  const auto a = graph::make_random_geometric(24, 0.4, 1);
+  const auto b = graph::make_random_geometric(24, 0.4, 1);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (graph::NodeId v = 0; v < 24; ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v)) << "v=" << v;
+  }
+  const auto c = graph::make_preferential_attachment(40, 3, 2);
+  const auto d = graph::make_preferential_attachment(40, 3, 2);
+  EXPECT_EQ(c.edge_count(), d.edge_count());
+  // Each of the n - m - 1 attached nodes adds exactly m edges to the seed
+  // (m+1)-clique.
+  EXPECT_EQ(c.edge_count(), 3u * 4u / 2u + (40u - 4u) * 3u);
+  EXPECT_TRUE(graph::is_connected(c));
+
+  EXPECT_THROW(graph::make_random_geometric(0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(graph::make_random_geometric(8, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(graph::make_random_geometric(64, 0.01, 1), std::invalid_argument);
+  EXPECT_THROW(graph::make_preferential_attachment(4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(graph::make_preferential_attachment(3, 3, 1), std::invalid_argument);
+}
+
+TEST(NewFamilies, PreferentialAttachmentGrowsHubs) {
+  // Heavy tail: the busiest node should collect far more than the median
+  // degree (every attached node has degree >= m = 2, hubs accumulate).
+  const auto g = graph::make_preferential_attachment(64, 2, 77);
+  std::size_t max_deg = 0;
+  for (graph::NodeId v = 0; v < 64; ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_GE(max_deg, 8u);
+}
+
+}  // namespace
